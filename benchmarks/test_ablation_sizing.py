@@ -1,0 +1,38 @@
+"""Benchmark regenerating the ATM sizing discussion of Section IV-B."""
+
+from __future__ import annotations
+
+from repro.evaluation import ablation_sizing
+
+from conftest import BENCH_CORES, BENCH_SCALE, run_once
+
+
+def test_tht_bucket_bits_ablation(benchmark):
+    """More buckets never hurt; N = 8 is enough (paper Section IV-B)."""
+    points = run_once(
+        benchmark,
+        ablation_sizing.compute_bucket_bits_sweep,
+        benchmark="blackscholes",
+        scale=BENCH_SCALE,
+        cores=BENCH_CORES,
+        bits_values=(0, 4, 8),
+    )
+    benchmark.extra_info["report"] = ablation_sizing.report(points, "blackscholes")
+    by_bits = {p.value: p for p in points}
+    assert by_bits[8].reuse_percent >= by_bits[0].reuse_percent - 1e-9
+    assert by_bits[8].speedup > 0
+
+
+def test_tht_capacity_ablation(benchmark):
+    """Kmeans needs a deep THT (M = 128) to hold one entry per point block."""
+    points = run_once(
+        benchmark,
+        ablation_sizing.compute_capacity_sweep,
+        benchmark="kmeans",
+        scale=BENCH_SCALE,
+        cores=BENCH_CORES,
+        capacities=(4, 16, 128),
+    )
+    benchmark.extra_info["report"] = ablation_sizing.report(points, "kmeans")
+    by_capacity = {p.value: p for p in points}
+    assert by_capacity[128].reuse_percent >= by_capacity[4].reuse_percent - 1e-9

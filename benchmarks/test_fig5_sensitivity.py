@@ -1,0 +1,42 @@
+"""Benchmark regenerating Figure 5: correctness vs fixed sampling fraction p."""
+
+from __future__ import annotations
+
+from repro.evaluation import fig5_sensitivity
+
+from conftest import BENCH_CORES, BENCH_SCALE, run_once
+
+#: A reduced ladder (the full 16-step sweep is available via the CLI).
+LADDER = (2.0 ** -15, 2.0 ** -10, 2.0 ** -6, 2.0 ** -3, 0.5, 1.0)
+BENCHMARKS = ("blackscholes", "gauss-seidel", "kmeans", "swaptions")
+
+
+def test_fig5_correctness_vs_p(benchmark):
+    curves = run_once(
+        benchmark,
+        fig5_sensitivity.compute,
+        scale=BENCH_SCALE,
+        cores=BENCH_CORES,
+        benchmarks=BENCHMARKS,
+        ladder=LADDER,
+    )
+    benchmark.extra_info["report"] = fig5_sensitivity.report(curves)
+
+    for curve in curves:
+        # The right-most point (p = 1) is Static ATM: always 100 % correct.
+        assert curve.correctness_at(1.0) >= 99.99, curve.benchmark
+        # Correctness never *improves* dramatically by sampling less: the
+        # p=1 point is (close to) the maximum of the curve.
+        assert max(curve.correctness) <= curve.correctness_at(1.0) + 1e-6
+
+    # Shrinking p eventually degrades correctness for at least one benchmark
+    # (the paper's curves all fall off on the left side of the plot).
+    smallest_p = min(LADDER)
+    degraded = [c for c in curves if c.correctness_at(smallest_p) < 99.0]
+    assert degraded, "no benchmark degraded at the smallest sampling fraction"
+
+    # Dynamic ATM's automatically chosen configuration stays accurate
+    # (paper: every benchmark above 96.8 %).
+    for curve in curves:
+        if curve.dynamic_correctness is not None:
+            assert curve.dynamic_correctness >= 90.0, curve.benchmark

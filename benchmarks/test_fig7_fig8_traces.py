@@ -1,0 +1,46 @@
+"""Benchmarks regenerating the trace-based figures (7 and 8)."""
+
+from __future__ import annotations
+
+from repro.evaluation import fig7_trace, fig8_ready_tasks
+
+from conftest import BENCH_CORES, BENCH_SCALE, run_once
+
+
+def test_fig7_gauss_seidel_trace(benchmark):
+    """Figure 7: ATM memory-bound states slow down as core count grows."""
+    result = run_once(
+        benchmark,
+        fig7_trace.compute,
+        benchmark="gauss-seidel",
+        scale=BENCH_SCALE,
+        cores_small=2,
+        cores_large=BENCH_CORES,
+    )
+    benchmark.extra_info["report"] = fig7_trace.report(result)
+    benchmark.extra_info["memoization_slowdown"] = result.memoization_slowdown
+    # Both core counts actually performed memoization copies...
+    assert result.mean_memo_small > 0.0
+    assert result.mean_memo_large > 0.0
+    # ...and the shared-memory contention makes them no faster (the paper
+    # measures ~60 % slower) at the larger core count.
+    assert result.memoization_slowdown >= 0.95
+    assert result.hash_slowdown >= 0.95
+
+
+def test_fig8_blackscholes_ready_tasks(benchmark):
+    """Figure 8: with ATM the ready queue drains (creation-bound execution)."""
+    result = run_once(
+        benchmark,
+        fig8_ready_tasks.compute,
+        benchmark="blackscholes",
+        scale=BENCH_SCALE,
+        cores=BENCH_CORES,
+    )
+    benchmark.extra_info["report"] = fig8_ready_tasks.report(result)
+    # ATM makes the run faster...
+    assert result.speedup > 1.0
+    # ...and keeps the ready queue emptier than the baseline, because worker
+    # threads memoize tasks faster than the master can create them.
+    assert result.with_atm_mean_ready <= result.without_atm_mean_ready + 1e-9
+    assert result.with_atm_max_ready <= result.without_atm_max_ready

@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the ATM building blocks.
+
+These are not figures from the paper; they measure the cost of the hashing,
+key-generation and table operations that the paper's overhead analysis
+discusses (Sections III-B and IV-B), and they use pytest-benchmark's normal
+multi-round timing because each operation is cheap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.atm.engine import ATMEngine
+from repro.atm.keygen import HashKeyGenerator
+from repro.atm.policy import StaticATMPolicy
+from repro.atm.tht import TaskHistoryTable
+from repro.common.config import ATMConfig
+from repro.common.hashing import hash_bytes, jenkins_lookup3
+from repro.runtime.data import In, Out
+from repro.runtime.task import Task, TaskType
+
+MEMO_TYPE = TaskType("micro", memoizable=True)
+
+
+def _task(src, dst):
+    return Task(task_type=MEMO_TYPE, function=lambda: dst.__setitem__(slice(None), src),
+                accesses=[In(src), Out(dst)], task_id=0)
+
+
+def test_hash_bytes_4mb_throughput(benchmark):
+    """Vectorised hashing of a paper-sized (4 MB) task input."""
+    data = np.random.default_rng(0).integers(0, 255, 4 << 20, dtype=np.uint8)
+    benchmark(hash_bytes, data)
+
+
+def test_jenkins_lookup3_small_input(benchmark):
+    """Exact lookup3 on a 376-byte swaption-sized record."""
+    data = bytes(range(256)) + bytes(120)
+    benchmark(jenkins_lookup3, data)
+
+
+def test_keygen_full_precision(benchmark):
+    """Hash-key generation at p = 100 % over a 256 KiB input."""
+    generator = HashKeyGenerator(ATMConfig())
+    src = np.random.default_rng(1).standard_normal(32768)
+    task = _task(src, np.zeros_like(src))
+    benchmark(generator.compute, task, 1.0)
+
+
+def test_keygen_sampled(benchmark):
+    """Hash-key generation at p = 0.1 % (the Dynamic-ATM regime)."""
+    generator = HashKeyGenerator(ATMConfig())
+    src = np.random.default_rng(1).standard_normal(32768)
+    task = _task(src, np.zeros_like(src))
+    generator.compute(task, 0.001)  # warm the cached shuffle
+    benchmark(generator.compute, task, 0.001)
+
+
+def test_tht_lookup_hit(benchmark):
+    """One THT probe that hits (lock + key compare)."""
+    config = ATMConfig()
+    tht = TaskHistoryTable(config)
+    generator = HashKeyGenerator(config)
+    src = np.arange(1024.0)
+    task = _task(src, np.zeros(1024))
+    key = generator.compute(task, 1.0)
+    tht.insert(key, MEMO_TYPE.name, [np.zeros(1024)], producer_index=0)
+    benchmark(tht.lookup, key, MEMO_TYPE.name)
+
+
+def test_engine_memoization_hit_path(benchmark):
+    """Full engine hit: hash + THT probe + output copy (the paper's 10x-cheaper path)."""
+    config = ATMConfig()
+    engine = ATMEngine(config=config, policy=StaticATMPolicy(config), num_threads=1)
+    src = np.arange(8192.0)
+    first = _task(src, np.zeros(8192))
+    decision = engine.task_ready(first)
+    first.run()
+    engine.task_finished(first, decision, executed=True)
+
+    def hit():
+        consumer = _task(src, np.zeros(8192))
+        return engine.task_ready(consumer)
+
+    result = benchmark(hit)
+    assert result.action.value == "skip"
+
+
+def test_engine_miss_and_commit_path(benchmark):
+    """Full engine miss: hash + probe + execution + THT commit."""
+    config = ATMConfig()
+    engine = ATMEngine(config=config, policy=StaticATMPolicy(config), num_threads=1)
+    rng = np.random.default_rng(2)
+
+    def miss():
+        src = rng.standard_normal(8192)
+        task = _task(src, np.zeros(8192))
+        decision = engine.task_ready(task)
+        task.run()
+        engine.task_finished(task, decision, executed=True)
+
+    benchmark(miss)

@@ -1,0 +1,41 @@
+"""Benchmarks regenerating Tables I, II and III of the paper."""
+
+from __future__ import annotations
+
+from repro.apps.registry import PAPER_PARAMETERS
+from repro.evaluation import tables
+
+from conftest import BENCH_SCALE, run_once
+
+
+def test_table1_benchmark_description(benchmark):
+    """Table I: benchmark description (task-input bytes, #tasks, task types)."""
+    rows = run_once(benchmark, tables.compute_table1, scale=BENCH_SCALE)
+    assert len(rows) == 6
+    benchmark.extra_info["report"] = tables.report_table1(rows)
+    for row in rows:
+        assert row.task_input_bytes > 0
+        assert row.number_of_tasks > 0
+
+
+def test_table2_dynamic_atm_parameters(benchmark):
+    """Table II: L_training and tau_max must match the paper exactly."""
+    rows = run_once(benchmark, tables.compute_table2)
+    benchmark.extra_info["report"] = tables.report_table2(rows)
+    for row in rows:
+        assert row.l_training == row.paper_l_training
+        assert abs(row.tau_max_percent - row.paper_tau_max_percent) < 1e-9
+
+
+def test_table3_memory_overhead(benchmark):
+    """Table III: ATM memory overhead stays in the same order of magnitude as
+    the paper's 3.7 %-21.2 % range (the exact value depends on workload
+    scale)."""
+    rows = run_once(benchmark, tables.compute_table3, scale=BENCH_SCALE)
+    benchmark.extra_info["report"] = tables.report_table3(rows)
+    for row in rows:
+        assert 0.0 < row.memory_overhead_percent < 400.0
+    average = sum(r.memory_overhead_percent for r in rows) / len(rows)
+    paper_average = sum(p.memory_overhead_percent for p in PAPER_PARAMETERS.values()) / 6
+    benchmark.extra_info["average_overhead_percent"] = average
+    benchmark.extra_info["paper_average_overhead_percent"] = paper_average

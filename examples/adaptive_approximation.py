@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Dynamic ATM in action: automatic approximation of k-means.
+
+Kmeans is the paper's showcase for *approximate* task memoization: the
+cluster centers keep changing in their least-significant bits even after the
+assignment has converged, so exact memoization never fires — but sampling
+only the most significant bytes of the task inputs makes the redundant
+distance computations visible.
+
+The example runs Kmeans under Static ATM and Dynamic ATM, prints the
+training decisions (how often the sampling fraction ``p`` was doubled, which
+``p`` was frozen for the steady state), and compares reuse, speedup and
+accuracy — a miniature of the paper's Figures 3-5 for Kmeans.
+
+Run with ``python examples/adaptive_approximation.py``.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.runner import ExperimentSpec, run_benchmark, run_reference
+
+
+def describe(result, label: str) -> None:
+    chosen = f"{100 * result.chosen_p:.4g} %" if result.chosen_p else "n/a"
+    print(f"  {label}")
+    print(f"    speedup          : {result.speedup:.2f}x")
+    print(f"    reuse            : {result.memoized_type_reuse_percent:.1f} % of distance tasks")
+    print(f"    correctness      : {result.correctness:.2f} %")
+    print(f"    steady-state p   : {chosen}")
+    stats = result.atm_stats
+    print(
+        f"    lookups          : {stats['tht_hits']} THT hits, {stats['ikt_hits']} IKT hits, "
+        f"{stats['misses']} misses, {stats['training_hits']} training executions"
+    )
+    print()
+
+
+def main() -> None:
+    scale = "small"
+    print("Kmeans clustering with approximate task memoization (8 simulated cores)")
+    run_reference("kmeans", scale=scale, cores=8)
+
+    static = run_benchmark(ExperimentSpec(benchmark="kmeans", scale=scale, mode="static", cores=8))
+    dynamic = run_benchmark(ExperimentSpec(benchmark="kmeans", scale=scale, mode="dynamic", cores=8))
+
+    describe(static, "Static ATM (exact memoization, p = 100 %)")
+    describe(dynamic, "Dynamic ATM (adaptive approximation, tau_max = 20 %)")
+
+    print("Exact memoization finds nothing to reuse because the centers never")
+    print("repeat bit-for-bit; the adaptive algorithm settles on a tiny MSB-first")
+    print("sampling fraction and recovers the redundancy while keeping the final")
+    print("centers within the accuracy budget — the paper's 0.9x vs 3.6x result.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Reproduction of *ATM: Approximate Task Memoization in the Runtime System*.
+
+The package is organised in five layers, mirroring the system described in the
+paper (Brumar et al., IPPS 2017):
+
+``repro.common``
+    Low-level substrates shared by everything else: a pure-Python Jenkins
+    hashing implementation, the error metrics used by the paper (Chebyshev
+    relative error, Euclidean relative error, the LU residual), typed data
+    descriptors and configuration objects.
+
+``repro.runtime``
+    A task-based dataflow runtime system in the style of OmpSs / Nanos++:
+    typed data regions, task and task-type abstractions, dependence analysis,
+    a task dependence graph, ready queues, schedulers, a threaded executor and
+    a deterministic discrete-event multicore simulator with tracing support.
+
+``repro.atm``
+    The paper's contribution: hash-key generation with sampled and type-aware
+    input selection, the Task History Table (THT), the In-flight Key Table
+    (IKT), the memoization engine, the Dynamic-ATM adaptive training algorithm
+    and the Static/Dynamic/Oracle policies.
+
+``repro.apps``
+    The six evaluated applications written against the runtime API:
+    Blackscholes, Gauss-Seidel, Jacobi, Kmeans, sparse LU and Swaptions,
+    plus the workload registry describing the paper's configurations.
+
+``repro.evaluation``
+    The experiment harness that regenerates every table and figure of the
+    paper's evaluation section.
+"""
+
+from repro._version import __version__
+from repro.runtime.api import TaskRuntime, task
+from repro.atm.policy import (
+    ATMMode,
+    ATMPolicy,
+    DynamicATMPolicy,
+    FixedPPolicy,
+    NoATMPolicy,
+    StaticATMPolicy,
+)
+from repro.atm.engine import ATMEngine
+from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
+
+__all__ = [
+    "__version__",
+    "TaskRuntime",
+    "task",
+    "ATMMode",
+    "ATMPolicy",
+    "NoATMPolicy",
+    "StaticATMPolicy",
+    "DynamicATMPolicy",
+    "FixedPPolicy",
+    "ATMEngine",
+    "ATMConfig",
+    "RuntimeConfig",
+    "SimulationConfig",
+]

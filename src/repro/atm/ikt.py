@@ -1,0 +1,84 @@
+"""In-flight Key Table (paper Section III-A).
+
+The IKT maps the hash keys of tasks that are *currently executing* to the
+executing task, so that an identical ready task does not miss the reuse
+opportunity merely because the producer has not yet committed its outputs to
+the THT.  The table holds at most one entry per worker thread (a worker
+executes one task at a time) and, because lookups never copy outputs, a
+single lock protects it — exactly the design the paper motivates.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.common.hashing import HashKey
+from repro.runtime.task import Task
+
+__all__ = ["InFlightKeyTable"]
+
+
+class InFlightKeyTable:
+    """Single-lock table of the keys of in-flight tasks."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: dict[tuple[int, float, str], Task] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.registrations = 0
+        self.rejected_registrations = 0
+
+    @staticmethod
+    def _key(key: HashKey, task_type_name: str) -> tuple[int, float, str]:
+        return (key.value, key.p, task_type_name)
+
+    def lookup(self, key: HashKey, task_type_name: str) -> Optional[Task]:
+        """Return the in-flight producer with this key, if any."""
+        with self._lock:
+            producer = self._entries.get(self._key(key, task_type_name))
+            if producer is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return producer
+
+    def register(self, key: HashKey, task_type_name: str, task: Task) -> bool:
+        """Record that ``task`` is now executing under ``key``.
+
+        Returns ``False`` (and records the rejection) if the table is full,
+        which can only happen when it is sized below the number of workers.
+        """
+        with self._lock:
+            if self.max_entries is not None and len(self._entries) >= self.max_entries:
+                self.rejected_registrations += 1
+                return False
+            self._entries[self._key(key, task_type_name)] = task
+            self.registrations += 1
+            return True
+
+    def retire(self, key: HashKey, task_type_name: str, task: Task) -> bool:
+        """Remove the entry when the producer finishes."""
+        with self._lock:
+            stored = self._entries.get(self._key(key, task_type_name))
+            if stored is task:
+                del self._entries[self._key(key, task_type_name)]
+                return True
+            return False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def memory_bytes(self) -> int:
+        """IKT footprint: 8-byte key + 8-byte p + pointer per entry slot."""
+        slots = self.max_entries if self.max_entries is not None else len(self)
+        return 24 * max(slots, len(self))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+            self.registrations = self.rejected_registrations = 0

@@ -1,0 +1,115 @@
+"""Hash-key generation (paper Sections III-B and III-C).
+
+For every *task type* the generator stores one shuffled vector of byte
+indexes over the concatenated data inputs.  The shuffle is computed the first
+time a task of that type (and input size) is seen and reused afterwards, just
+as the paper stores the shuffled index vector in the runtime system.
+
+Two shuffle flavours are supported:
+
+* **plain** — a uniform random permutation of all input byte positions;
+* **type-aware** — the most significant byte of every element (of every
+  input) is shuffled first, then the next most significant byte, and so on
+  (Section III-C), so small sampling fractions still cover sign/exponent
+  bits.
+
+Given a sampling fraction ``p``, the first ``ceil(N * p)`` indexes of the
+stored vector select the bytes that are gathered and fed to the configured
+hash function; the result is an 8-byte :class:`~repro.common.hashing.HashKey`.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.config import ATMConfig
+from repro.common.dtypes import significance_order
+from repro.common.hashing import HASH_FUNCTIONS, HashKey
+from repro.common.rng import generator_for
+from repro.runtime.task import Task
+
+__all__ = ["HashKeyGenerator", "ShuffleRecord"]
+
+
+@dataclass
+class ShuffleRecord:
+    """The per-task-type stored shuffle (one per distinct total input size)."""
+
+    task_type_name: str
+    total_bytes: int
+    indices: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        """Runtime-system memory consumed by the stored index vector."""
+        return int(self.indices.nbytes)
+
+
+class HashKeyGenerator:
+    """Computes ATM hash keys for tasks, caching per-type shuffles."""
+
+    def __init__(self, config: ATMConfig) -> None:
+        self.config = config
+        self._shuffles: dict[tuple[str, int], ShuffleRecord] = {}
+        self._lock = threading.Lock()
+        self._hash = HASH_FUNCTIONS[config.hash_function]
+
+    # -- shuffle management ----------------------------------------------------
+    def _shuffle_for(self, task: Task, total_bytes: int) -> ShuffleRecord:
+        key = (task.task_type.name, total_bytes)
+        with self._lock:
+            record = self._shuffles.get(key)
+            if record is not None:
+                return record
+            rng = generator_for(self.config.shuffle_seed, task.task_type.name, total_bytes)
+            if self.config.type_aware:
+                descriptors = [
+                    (access.region.descriptor, access.nbytes) for access in task.inputs
+                ]
+                indices = significance_order(descriptors, rng)
+            else:
+                indices = rng.permutation(total_bytes).astype(np.int64)
+            record = ShuffleRecord(task.task_type.name, total_bytes, indices)
+            self._shuffles[key] = record
+            return record
+
+    def shuffle_memory_bytes(self) -> int:
+        """Total memory used by stored shuffles (part of the ATM overhead)."""
+        with self._lock:
+            return sum(record.nbytes for record in self._shuffles.values())
+
+    # -- key computation ---------------------------------------------------------
+    def selected_byte_count(self, total_bytes: int, p: float) -> int:
+        """How many bytes a fraction ``p`` selects (at least 1 for p > 0)."""
+        if total_bytes == 0:
+            return 0
+        return max(1, min(total_bytes, math.ceil(total_bytes * p)))
+
+    def compute(self, task: Task, p: float) -> HashKey:
+        """Compute the hash key of ``task`` using a sampling fraction ``p``."""
+        inputs = task.inputs
+        total_bytes = sum(access.nbytes for access in inputs)
+        if total_bytes == 0:
+            # Keyed only by the task type: tasks without inputs are redundant
+            # with each other by definition.
+            value = self._hash(task.task_type.name.encode("utf-8"), self.config.hash_seed)
+            return HashKey(value=value, p=p, sampled_bytes=0, total_bytes=0)
+        concatenated = (
+            inputs[0].region.to_bytes_view()
+            if len(inputs) == 1
+            else np.concatenate([access.region.to_bytes_view() for access in inputs])
+        )
+        record = self._shuffle_for(task, total_bytes)
+        count = self.selected_byte_count(total_bytes, p)
+        if count >= total_bytes:
+            sampled = concatenated
+        else:
+            sampled = concatenated[record.indices[:count]]
+        value = self._hash(sampled, self.config.hash_seed)
+        return HashKey(
+            value=value, p=p, sampled_bytes=int(count), total_bytes=int(total_bytes)
+        )

@@ -1,0 +1,157 @@
+"""Task History Table (paper Section III-A, Figure 1).
+
+The THT stores, for previously executed tasks, the 8-byte hash key of their
+(sampled) inputs together with a full copy of their outputs.  It is organised
+as ``2^N`` buckets of at most ``M`` entries; the lower ``N`` bits of the key
+select the bucket; entries are evicted first-in-first-out when a bucket is
+full.  Each bucket has its own lock so concurrent workers rarely contend
+(Section IV-B reports that ``N = 8`` removes lock contention).
+
+Keys computed with different sampling fractions ``p`` or for different task
+types are never considered equal — Dynamic ATM stores ``p`` alongside the key
+exactly for this reason.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.common.config import ATMConfig
+from repro.common.hashing import HashKey
+
+__all__ = ["THTEntry", "TaskHistoryTable"]
+
+
+@dataclass
+class THTEntry:
+    """One memoized task: its key, the sampling fraction and its outputs."""
+
+    key_value: int
+    p: float
+    task_type_name: str
+    outputs: list[np.ndarray]
+    producer_index: int
+    stored_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stored_bytes = int(sum(o.nbytes for o in self.outputs))
+
+    def matches(self, key: HashKey, task_type_name: str) -> bool:
+        return (
+            self.key_value == key.value
+            and self.task_type_name == task_type_name
+            and self.p == key.p
+        )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Entry footprint: stored outputs + 8-byte key + 8-byte p + metadata."""
+        return self.stored_bytes + 8 + 8 + 8
+
+
+class TaskHistoryTable:
+    """Bucketed, bounded, FIFO-evicting history of task executions."""
+
+    def __init__(self, config: ATMConfig) -> None:
+        self.config = config
+        self.n_buckets = config.n_buckets
+        self.capacity = config.tht_bucket_capacity
+        self._buckets: list[deque[THTEntry]] = [deque() for _ in range(self.n_buckets)]
+        self._locks = [threading.Lock() for _ in range(self.n_buckets)]
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self._counter_lock = threading.Lock()
+
+    # -- bucket selection --------------------------------------------------------
+    def bucket_index(self, key: HashKey) -> int:
+        return key.bucket(self.config.tht_bucket_bits)
+
+    # -- operations ----------------------------------------------------------------
+    def lookup(self, key: HashKey, task_type_name: str) -> Optional[THTEntry]:
+        """Return the matching entry, or ``None`` (recording hit/miss stats)."""
+        index = self.bucket_index(key)
+        with self._locks[index]:
+            for entry in self._buckets[index]:
+                if entry.matches(key, task_type_name):
+                    with self._counter_lock:
+                        self.hits += 1
+                    return entry
+        with self._counter_lock:
+            self.misses += 1
+        return None
+
+    def insert(
+        self,
+        key: HashKey,
+        task_type_name: str,
+        outputs: list[np.ndarray],
+        producer_index: int,
+    ) -> THTEntry:
+        """Store a finished task's outputs, FIFO-evicting if the bucket is full.
+
+        If an entry with the same key already exists it is refreshed in place
+        (newest outputs win), which matches the paper's observation that the
+        THT must be continuously updated because redundancy appears throughout
+        the execution.
+        """
+        entry = THTEntry(
+            key_value=key.value,
+            p=key.p,
+            task_type_name=task_type_name,
+            outputs=outputs,
+            producer_index=producer_index,
+        )
+        index = self.bucket_index(key)
+        with self._locks[index]:
+            bucket = self._buckets[index]
+            for position, existing in enumerate(bucket):
+                if existing.matches(key, task_type_name):
+                    bucket[position] = entry
+                    with self._counter_lock:
+                        self.insertions += 1
+                    return entry
+            if len(bucket) >= self.capacity:
+                bucket.popleft()
+                with self._counter_lock:
+                    self.evictions += 1
+            bucket.append(entry)
+        with self._counter_lock:
+            self.insertions += 1
+        return entry
+
+    # -- introspection ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def memory_bytes(self) -> int:
+        """Total memory held by the table (Table III accounting)."""
+        total = 0
+        for index, bucket in enumerate(self._buckets):
+            with self._locks[index]:
+                total += sum(entry.memory_bytes for entry in bucket)
+        # Bucket headers: one pointer-sized slot per bucket.
+        total += 8 * self.n_buckets
+        return total
+
+    def occupancy_histogram(self) -> list[int]:
+        """Entries per bucket (used by the sizing ablation)."""
+        return [len(bucket) for bucket in self._buckets]
+
+    def clear(self) -> None:
+        for index in range(self.n_buckets):
+            with self._locks[index]:
+                self._buckets[index].clear()
+        with self._counter_lock:
+            self.hits = self.misses = self.insertions = self.evictions = 0

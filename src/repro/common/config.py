@@ -1,0 +1,233 @@
+"""Configuration objects for the runtime, the ATM engine and the simulator.
+
+All knobs of the paper's Section III / IV live here so experiments can be
+described declaratively:
+
+* THT geometry (``2^N`` buckets of ``M`` entries, per-bucket locks);
+* IKT sizing (one entry per thread);
+* input-sampling percentage ``p`` and its training schedule
+  (``p0 = 2^-15``, doubling, at most 15 steps, ``L_training`` successes);
+* the per-task error threshold ``tau_max``;
+* the simulated machine (cores, memoization copy bandwidth, hash bandwidth,
+  task-creation throughput, memory-contention model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.common.exceptions import ConfigurationError
+
+__all__ = [
+    "ATMConfig",
+    "RuntimeConfig",
+    "SimulationConfig",
+    "MIN_P",
+    "P_LADDER",
+]
+
+#: Smallest sampling fraction explored by Dynamic ATM: 2^-15 (paper III-D).
+MIN_P: float = 2.0 ** -15
+
+#: The 16-step ladder of sampling fractions 2^-15, 2^-14, ..., 2^-1, 1.0.
+P_LADDER: tuple[float, ...] = tuple(2.0 ** exp for exp in range(-15, 1))
+
+
+@dataclass
+class ATMConfig:
+    """Configuration of the ATM engine (Sections III-A to III-D).
+
+    Attributes
+    ----------
+    tht_bucket_bits:
+        ``N``: the THT has ``2^N`` buckets.  The paper uses ``N = 8``.
+    tht_bucket_capacity:
+        ``M``: entries per bucket, FIFO-evicted.  The paper uses ``M = 16``
+        for most benchmarks and ``M = 128`` for Kmeans (and for all reported
+        experiments).
+    use_ikt:
+        Whether the In-flight Key Table is enabled.
+    p:
+        Input-byte sampling fraction used by Static ATM / fixed-p policies.
+    tau_max:
+        Per-task Chebyshev error threshold for Dynamic ATM training.
+    l_training:
+        Number of correctly approximated tasks required before Dynamic ATM
+        freezes ``p`` and enters the steady-state phase.
+    p_initial:
+        First sampling fraction explored during training (paper: ``2^-15``).
+    type_aware:
+        Enable MSB-first type-aware input selection (Section III-C).
+    hash_function:
+        Which whole-buffer hash to use: ``"numpy"`` (vectorised, default),
+        ``"lookup3"`` (exact Jenkins lookup3) or ``"one_at_a_time"``.
+    hash_seed:
+        Seed mixed into every hash key.
+    track_unstable_outputs:
+        Maintain the set of output pointers whose training error exceeded
+        ``tau_max`` and refuse to memoize tasks writing to them (Section
+        III-D, needed by Jacobi).
+    shuffle_seed:
+        Seed of the per-task-type index shuffle (stored once per task type).
+    """
+
+    tht_bucket_bits: int = 8
+    tht_bucket_capacity: int = 128
+    use_ikt: bool = True
+    p: float = 1.0
+    tau_max: float = 0.01
+    l_training: int = 15
+    p_initial: float = MIN_P
+    type_aware: bool = True
+    hash_function: str = "numpy"
+    hash_seed: int = 0x5EED
+    track_unstable_outputs: bool = True
+    shuffle_seed: int = 0xC0FFEE
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.tht_bucket_bits < 0 or self.tht_bucket_bits > 24:
+            raise ConfigurationError(
+                f"tht_bucket_bits must be in [0, 24], got {self.tht_bucket_bits}"
+            )
+        if self.tht_bucket_capacity < 1:
+            raise ConfigurationError(
+                f"tht_bucket_capacity must be >= 1, got {self.tht_bucket_capacity}"
+            )
+        if not (0.0 < self.p <= 1.0):
+            raise ConfigurationError(f"p must be in (0, 1], got {self.p}")
+        if not (0.0 < self.p_initial <= 1.0):
+            raise ConfigurationError(
+                f"p_initial must be in (0, 1], got {self.p_initial}"
+            )
+        if self.tau_max < 0.0:
+            raise ConfigurationError(f"tau_max must be >= 0, got {self.tau_max}")
+        if self.l_training < 1:
+            raise ConfigurationError(
+                f"l_training must be >= 1, got {self.l_training}"
+            )
+        if self.hash_function not in ("numpy", "lookup3", "one_at_a_time"):
+            raise ConfigurationError(
+                f"unknown hash_function {self.hash_function!r}"
+            )
+
+    @property
+    def n_buckets(self) -> int:
+        return 1 << self.tht_bucket_bits
+
+    def with_overrides(self, **kwargs) -> "ATMConfig":
+        """Return a copy with the given fields replaced (validated)."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration of the task runtime itself.
+
+    Attributes
+    ----------
+    num_threads:
+        Worker threads / simulated cores.
+    scheduler:
+        Ready-queue policy name (``"fifo"``, ``"lifo"`` or
+        ``"work_stealing"``).
+    enable_tracing:
+        Record per-core state intervals and ready-queue depth samples.
+    max_ready_tasks:
+        Optional bound on the ready queue (``None`` = unbounded); used to
+        model the task-creation throughput limitation discussed in Section
+        V-C.
+    seed:
+        Seed for any stochastic scheduling decisions (work stealing).
+    """
+
+    num_threads: int = 8
+    scheduler: str = "fifo"
+    enable_tracing: bool = False
+    max_ready_tasks: Optional[int] = None
+    seed: int = 2017
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_threads < 1:
+            raise ConfigurationError(
+                f"num_threads must be >= 1, got {self.num_threads}"
+            )
+        if self.scheduler not in ("fifo", "lifo", "work_stealing"):
+            raise ConfigurationError(f"unknown scheduler {self.scheduler!r}")
+        if self.max_ready_tasks is not None and self.max_ready_tasks < 1:
+            raise ConfigurationError("max_ready_tasks must be >= 1 or None")
+
+    def with_overrides(self, **kwargs) -> "RuntimeConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class SimulationConfig:
+    """Cost model of the discrete-event simulated multicore.
+
+    The simulator replaces the paper's real Sandy Bridge testbed (see
+    DESIGN.md Section 4).  Costs are expressed in microseconds of simulated
+    time; throughput figures are bytes per microsecond.
+
+    Attributes
+    ----------
+    copy_bandwidth:
+        Bytes/us for THT output copies.  The paper measures the SIMD copies to
+        be ~10.3-10.8x faster than executing the task, which emerges from this
+        bandwidth combined with the per-application task cost models.
+    hash_bandwidth:
+        Bytes/us processed by the hash-key generator.
+    task_overhead:
+        Fixed per-task runtime bookkeeping cost (scheduling, dependence
+        release).
+    tht_lookup_overhead:
+        Fixed cost of one THT probe (lock + compare).
+    ikt_lookup_overhead:
+        Fixed cost of one IKT probe.
+    creation_throughput:
+        Tasks/us that the master thread can create; models the creation
+        bottleneck seen in Blackscholes/Kmeans (Section V-C, Figure 8).
+    memory_contention_factor:
+        Extra latency factor applied to memory-bound ATM activities when
+        several cores perform them concurrently: effective cost is multiplied
+        by ``1 + factor * (concurrent_memory_ops - 1)``.  Models the 60 %
+        slowdown of hash/copy states observed between 2 and 8 cores (Figure
+        7).
+    """
+
+    copy_bandwidth: float = 2000.0
+    hash_bandwidth: float = 400.0
+    task_overhead: float = 0.2
+    tht_lookup_overhead: float = 0.1
+    ikt_lookup_overhead: float = 0.02
+    creation_throughput: float = 8.0
+    memory_contention_factor: float = 0.09
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        for name in (
+            "copy_bandwidth",
+            "hash_bandwidth",
+            "creation_throughput",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be > 0")
+        for name in (
+            "task_overhead",
+            "tht_lookup_overhead",
+            "ikt_lookup_overhead",
+            "memory_contention_factor",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+    def with_overrides(self, **kwargs) -> "SimulationConfig":
+        return replace(self, **kwargs)

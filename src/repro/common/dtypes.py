@@ -1,0 +1,145 @@
+"""Type descriptors for type-aware input selection (paper Section III-C).
+
+The OmpSs runtime only knows the start address and size of each data region;
+the paper extends the runtime API so the compiler can also communicate the
+element type of every input and output.  With that information the hash-key
+generator can shuffle the *most significant byte* of every element first, then
+the next most significant byte, and so on, so that a small sampling percentage
+``p`` still protects sign and exponent bits of floating-point data and sign
+and high-order bits of integer data.
+
+This module provides the Python equivalent: a :class:`TypeDescriptor` derived
+from a NumPy dtype, and :func:`significance_order`, which returns for a region
+of ``n`` elements the byte indexes ordered from most to least significant
+(grouped by significance level, as the paper describes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TypeDescriptor",
+    "describe_array",
+    "significance_order",
+    "byte_significance_ranks",
+]
+
+
+@dataclass(frozen=True)
+class TypeDescriptor:
+    """Describes the element type of a data region.
+
+    Attributes
+    ----------
+    name:
+        Canonical NumPy dtype name (``"float32"``, ``"int64"``...).
+    itemsize:
+        Bytes per element.
+    kind:
+        NumPy kind character: ``'f'`` float, ``'i'`` signed int, ``'u'``
+        unsigned int, ``'b'`` boolean, ``'V'`` raw/void.
+    byteorder:
+        ``"little"`` or ``"big"``; raw byte buffers are treated as
+        little-endian single-byte elements.
+    """
+
+    name: str
+    itemsize: int
+    kind: str
+    byteorder: str = "little"
+
+    @property
+    def is_multibyte(self) -> bool:
+        return self.itemsize > 1
+
+    def msb_first_byte_offsets(self) -> list[int]:
+        """Byte offsets within one element, most significant first.
+
+        For little-endian multi-byte types the most significant byte is the
+        last one of the element; for big-endian it is the first.  Single-byte
+        types trivially return ``[0]``.
+        """
+        offsets = list(range(self.itemsize))
+        if self.byteorder == "little":
+            offsets.reverse()
+        return offsets
+
+
+def describe_array(array: np.ndarray) -> TypeDescriptor:
+    """Build a :class:`TypeDescriptor` from a NumPy array."""
+    dtype = array.dtype
+    byteorder = dtype.byteorder
+    if byteorder in ("=", "|"):
+        order = "little" if np.little_endian else "big"
+    elif byteorder == "<":
+        order = "little"
+    else:
+        order = "big"
+    return TypeDescriptor(
+        name=dtype.name,
+        itemsize=int(dtype.itemsize),
+        kind=dtype.kind,
+        byteorder=order,
+    )
+
+
+def byte_significance_ranks(descriptor: TypeDescriptor, nbytes: int) -> np.ndarray:
+    """Rank every byte of a region by significance level.
+
+    Returns an int array ``ranks`` of length ``nbytes`` where ``ranks[i]`` is
+    the significance level of byte ``i`` (0 = most significant byte of its
+    element).  Trailing bytes that do not form a full element (possible only
+    for raw buffers) are assigned the lowest significance.
+    """
+    itemsize = max(1, descriptor.itemsize)
+    ranks = np.empty(nbytes, dtype=np.int64)
+    if itemsize == 1:
+        ranks.fill(0)
+        return ranks
+    offsets = descriptor.msb_first_byte_offsets()
+    # offset -> rank (position in MSB-first order)
+    rank_of_offset = np.empty(itemsize, dtype=np.int64)
+    for rank, offset in enumerate(offsets):
+        rank_of_offset[offset] = rank
+    n_full = (nbytes // itemsize) * itemsize
+    if n_full:
+        within = np.arange(n_full, dtype=np.int64) % itemsize
+        ranks[:n_full] = rank_of_offset[within]
+    if n_full < nbytes:
+        ranks[n_full:] = itemsize - 1
+    return ranks
+
+
+def significance_order(
+    descriptors: list[tuple[TypeDescriptor, int]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Type-aware shuffled index vector over the concatenated inputs.
+
+    ``descriptors`` is a list of ``(TypeDescriptor, nbytes)`` pairs describing
+    the task's data inputs in concatenation order.  The returned index vector
+    covers ``sum(nbytes)`` global byte positions.  Bytes are grouped by
+    significance level (level 0 = most significant byte of every element of
+    every input) and each group is independently shuffled; groups are then
+    concatenated from most to least significant, exactly as Section III-C
+    describes ("first shuffles the indexes pointing to the MSBs of the data
+    inputs, then the next MSBs, ...").
+    """
+    total = sum(nbytes for _, nbytes in descriptors)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ranks = np.empty(total, dtype=np.int64)
+    cursor = 0
+    for descriptor, nbytes in descriptors:
+        ranks[cursor:cursor + nbytes] = byte_significance_ranks(descriptor, nbytes)
+        cursor += nbytes
+    indices = np.arange(total, dtype=np.int64)
+    order_parts: list[np.ndarray] = []
+    for level in range(int(ranks.max()) + 1):
+        group = indices[ranks == level]
+        if group.size:
+            order_parts.append(rng.permutation(group))
+    return np.concatenate(order_parts)

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ATM reproduction.
+
+Keeping a single module for exceptions lets callers catch broad categories
+(``ReproError``) or precise conditions (``DependenceError``) without importing
+heavy modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object contains an invalid or inconsistent value."""
+
+
+class DependenceError(ReproError):
+    """A task declared data accesses that the dependence system rejects."""
+
+
+class TaskDefinitionError(ReproError):
+    """A task or task type was declared incorrectly (e.g. missing outputs)."""
+
+
+class RuntimeStateError(ReproError):
+    """The runtime was driven through an invalid state transition."""
+
+
+class MemoizationError(ReproError):
+    """The ATM engine detected an inconsistent memoization state."""
+
+
+class SchedulerError(ReproError):
+    """A scheduler was asked to perform an unsupported operation."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """An application workload was configured with invalid parameters."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness failed to produce a result."""

@@ -1,0 +1,61 @@
+"""Small timing utilities shared by the threaded executor and the harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Stopwatch", "Timer", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch: total seconds across ``start``/``stop`` pairs."""
+
+    total: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        elapsed = time.perf_counter() - self._started_at
+        self.total += elapsed
+        self._started_at = None
+        return elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self._started_at = None
+
+
+@dataclass
+class Timer:
+    """One-shot wall-clock timer with a context-manager interface."""
+
+    elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """``with timed() as t: ...`` then read ``t.elapsed``."""
+    timer = Timer()
+    with timer:
+        yield timer

@@ -1,0 +1,8 @@
+"""Allow ``python -m repro.evaluation <figN|tableN|all>``."""
+
+import sys
+
+from repro.evaluation.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

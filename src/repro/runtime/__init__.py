@@ -1,0 +1,45 @@
+"""Task-based dataflow runtime system (OmpSs / Nanos++ analogue).
+
+The runtime exposes the same concepts the paper relies on:
+
+* typed **data regions** with ``in`` / ``out`` / ``inout`` access annotations
+  (:mod:`repro.runtime.data`);
+* **tasks** and **task types** (:mod:`repro.runtime.task`);
+* a **dependence system** that orders tasks by their declared accesses and
+  builds the task dependence graph (:mod:`repro.runtime.dependences`,
+  :mod:`repro.runtime.graph`);
+* **ready queues** and **schedulers** (:mod:`repro.runtime.ready_queue`,
+  :mod:`repro.runtime.scheduler`);
+* three executors: a serial one, a real-thread one and a deterministic
+  discrete-event multicore simulator (:mod:`repro.runtime.executor`,
+  :mod:`repro.runtime.simulator`);
+* an execution **trace recorder** used to regenerate the paper's Figures 7
+  and 8 (:mod:`repro.runtime.trace`);
+* the user-facing API (:mod:`repro.runtime.api`).
+"""
+
+from repro.runtime.data import AccessMode, DataAccess, DataRegion, In, InOut, Out
+from repro.runtime.task import Task, TaskState, TaskType
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.api import TaskRuntime, task
+from repro.runtime.executor import RunResult, SerialExecutor, ThreadedExecutor
+from repro.runtime.simulator import SimulatedExecutor
+
+__all__ = [
+    "AccessMode",
+    "DataAccess",
+    "DataRegion",
+    "In",
+    "Out",
+    "InOut",
+    "Task",
+    "TaskState",
+    "TaskType",
+    "TaskDependenceGraph",
+    "TaskRuntime",
+    "task",
+    "RunResult",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "SimulatedExecutor",
+]

@@ -1,0 +1,165 @@
+"""User-facing runtime API.
+
+Programs are written the way OmpSs programs are: functions are annotated as
+task types, invocations declare their data accesses, and a barrier
+(``wait_all``) synchronises the master with the workers.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro.runtime import TaskRuntime, In, Out
+>>> from repro.runtime.task import TaskType
+>>>
+>>> rt = TaskRuntime()
+>>> saxpy = TaskType("saxpy", memoizable=True)
+>>> x = np.arange(4, dtype=np.float64); y = np.zeros(4)
+>>> def body(xv, yv, a):
+...     yv[:] = a * xv
+>>> _ = rt.submit(saxpy, body, accesses=[In(x), Out(y)], args=(x, y, 2.0))
+>>> _ = rt.wait_all()
+>>> y.tolist()
+[0.0, 2.0, 4.0, 6.0]
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional, Sequence
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.atm_protocol import MemoizationEngineProtocol
+from repro.runtime.data import DataAccess
+from repro.runtime.executor import BaseExecutor, RunResult, SerialExecutor
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.task import Task, TaskType
+
+__all__ = ["TaskRuntime", "task"]
+
+
+class TaskRuntime:
+    """The runtime a program instantiates to submit and run tasks.
+
+    Parameters
+    ----------
+    executor:
+        Any :class:`BaseExecutor` (serial, threaded or simulated).  Defaults
+        to a fresh :class:`SerialExecutor`.
+    engine:
+        Optional memoization engine; if the executor was constructed without
+        one, passing it here installs it.
+    config:
+        Runtime configuration used when a default executor must be created.
+    """
+
+    def __init__(
+        self,
+        executor: Optional[BaseExecutor] = None,
+        engine: Optional[MemoizationEngineProtocol] = None,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        self.config = config or RuntimeConfig(num_threads=1)
+        if executor is None:
+            executor = SerialExecutor(config=self.config, engine=engine)
+        elif engine is not None and executor.engine is None:
+            executor.engine = engine
+        self.executor = executor
+        self.graph = TaskDependenceGraph(on_ready=self.executor.notify_ready)
+        self._closed = False
+        self._submitted = 0
+
+    # -- program construction --------------------------------------------------
+    def submit(
+        self,
+        task_type: TaskType,
+        function: Callable,
+        accesses: Sequence[DataAccess],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> Task:
+        """Create a task and hand it to the dependence system."""
+        if self._closed:
+            raise RuntimeStateError("runtime already finished")
+        task = Task(
+            task_type=task_type,
+            function=function,
+            accesses=list(accesses),
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            task_id=self._submitted,
+        )
+        self._submitted += 1
+        self.graph.add_task(task)
+        return task
+
+    def wait_all(self) -> RunResult:
+        """Barrier: run every submitted task to completion (``taskwait``)."""
+        if self._closed:
+            raise RuntimeStateError("runtime already finished")
+        return self.executor.drain(self.graph)
+
+    def finish(self) -> RunResult:
+        """Final barrier; afterwards the runtime rejects new submissions."""
+        result = self.wait_all()
+        self._closed = True
+        return result
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        return self.graph.task_count
+
+    @property
+    def result(self) -> RunResult:
+        return self.executor.result()
+
+    def __enter__(self) -> "TaskRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._closed:
+            self.finish()
+
+
+def task(
+    task_type: TaskType,
+    accesses_fn: Callable[..., Sequence[DataAccess]],
+) -> Callable[[Callable], Callable]:
+    """Decorator turning a function into a task-submitting stub.
+
+    ``accesses_fn`` receives the same arguments as the decorated function and
+    returns the list of data accesses to declare — the Python analogue of the
+    ``depend(in: ..., out: ...)`` clauses of an OmpSs pragma.  The decorated
+    function gains a ``runtime`` keyword argument; when provided, calling it
+    submits a task instead of executing immediately.
+
+    >>> import numpy as np
+    >>> from repro.runtime import In, Out, TaskRuntime
+    >>> from repro.runtime.task import TaskType
+    >>> tt = TaskType("double_it", memoizable=True)
+    >>> @task(tt, lambda src, dst: [In(src), Out(dst)])
+    ... def double_it(src, dst):
+    ...     dst[:] = 2 * src
+    >>> rt = TaskRuntime()
+    >>> a, b = np.ones(3), np.zeros(3)
+    >>> double_it(a, b, runtime=rt)        # doctest: +ELLIPSIS
+    Task(...)
+    >>> _ = rt.wait_all()
+    >>> b.tolist()
+    [2.0, 2.0, 2.0]
+    """
+
+    def decorator(function: Callable) -> Callable:
+        @functools.wraps(function)
+        def wrapper(*args, runtime: Optional[TaskRuntime] = None, **kwargs):
+            if runtime is None:
+                return function(*args, **kwargs)
+            accesses = accesses_fn(*args, **kwargs)
+            return runtime.submit(
+                task_type, function, accesses=accesses, args=args, kwargs=kwargs
+            )
+
+        wrapper.task_type = task_type  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorator

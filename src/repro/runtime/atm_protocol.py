@@ -1,0 +1,106 @@
+"""Protocol between the runtime's executors and a memoization engine.
+
+The runtime does not depend on the ATM implementation: executors talk to any
+object implementing :class:`MemoizationEngineProtocol`.  The ATM package
+provides the real implementation (:class:`repro.atm.engine.ATMEngine`); tests
+can plug in simple fakes.
+
+The decision returned by ``task_ready`` tells the executor what to do with
+the task and how many bytes the engine touched, so the discrete-event
+simulator can charge hash and copy costs without knowing anything about the
+THT internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.runtime.task import Task
+
+__all__ = [
+    "ATMAction",
+    "ATMDecision",
+    "ATMCommitInfo",
+    "MemoizationEngineProtocol",
+    "EXECUTE_DECISION",
+]
+
+
+class ATMAction(enum.Enum):
+    """What the executor must do with a ready task after the ATM lookup."""
+
+    #: Run the task normally (THT and IKT miss, or ATM disabled for the task).
+    EXECUTE = "execute"
+    #: THT hit: the engine already copied the stored outputs; skip execution.
+    SKIP = "skip"
+    #: IKT hit: an identical task is in flight; do not execute, completion is
+    #: deferred until the producer commits and its outputs are copied.
+    DEFER = "defer"
+    #: Dynamic-ATM training hit: execute the task anyway so the engine can
+    #: measure the approximation error afterwards.
+    EXECUTE_AND_TRAIN = "execute_and_train"
+
+
+@dataclass
+class ATMDecision:
+    """Outcome of the ATM lookup performed when a task becomes ready."""
+
+    action: ATMAction
+    #: Bytes fed to the hash-key generator (0 when ATM skipped the task).
+    hashed_bytes: int = 0
+    #: Bytes copied from the THT into the task outputs (SKIP only).
+    copied_bytes: int = 0
+    #: Sampling fraction used for the key (diagnostics).
+    p: float = 1.0
+    #: Producer task a DEFER decision is waiting on.
+    waiting_on: Optional[Task] = None
+    #: True when the lookup reached the THT (i.e. the task type was eligible).
+    atm_handled: bool = False
+    #: Opaque engine payload carried through to ``task_finished``.
+    payload: dict = field(default_factory=dict)
+
+    @property
+    def skips_execution(self) -> bool:
+        return self.action in (ATMAction.SKIP, ATMAction.DEFER)
+
+
+#: Decision used for tasks the ATM engine never sees (engine disabled or task
+#: type not eligible).
+EXECUTE_DECISION = ATMDecision(action=ATMAction.EXECUTE, atm_handled=False)
+
+
+@dataclass
+class ATMCommitInfo:
+    """Costs incurred when a finished task is committed to the THT."""
+
+    #: Bytes copied from the task outputs into the THT entry.
+    stored_bytes: int = 0
+    #: Bytes copied to satisfy postponed (IKT) consumers.
+    forwarded_bytes: int = 0
+    #: Number of deferred tasks completed by this commit.
+    deferred_completed: int = 0
+
+
+@runtime_checkable
+class MemoizationEngineProtocol(Protocol):
+    """Interface the executors expect from a memoization engine."""
+
+    def task_ready(self, task: Task, worker_id: int = 0) -> ATMDecision:
+        """Lookup performed right after a worker pulls ``task`` from the RQ."""
+        ...
+
+    def task_finished(
+        self, task: Task, decision: ATMDecision, executed: bool, worker_id: int = 0
+    ) -> ATMCommitInfo:
+        """Commit/cleanup performed when the task's processing completes."""
+        ...
+
+    def set_deferred_completion_callback(
+        self, callback: Optional[Callable[[Task, int], None]]
+    ) -> None:
+        """Register the callback invoked when a DEFERred task's outputs have
+        been copied from its in-flight producer (arguments: the deferred task
+        and the number of bytes copied)."""
+        ...

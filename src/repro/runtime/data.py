@@ -1,0 +1,230 @@
+"""Typed data regions and access annotations.
+
+Task-based dataflow programming models require the programmer to annotate
+which data each task reads (``in``), writes (``out``) or both (``inout``).
+The runtime uses those annotations for two purposes:
+
+* building the task dependence graph (writer -> reader edges, write-after-read
+  and write-after-write orderings);
+* giving ATM a complete description of the task inputs (bytes + element
+  types) and outputs (buffers to snapshot into the THT and to overwrite on a
+  memoization hit).
+
+A :class:`DataRegion` wraps a NumPy array (possibly a view into a larger
+array).  Region identity for dependence purposes is the byte interval
+``[offset, offset + nbytes)`` within the owning base buffer, so two views of
+the same matrix block conflict while disjoint blocks do not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.common.dtypes import TypeDescriptor, describe_array
+from repro.common.exceptions import TaskDefinitionError
+
+__all__ = [
+    "AccessMode",
+    "DataRegion",
+    "DataAccess",
+    "In",
+    "Out",
+    "InOut",
+    "as_region",
+]
+
+
+class AccessMode(enum.Enum):
+    """Data access modes, mirroring OmpSs/OpenMP ``depend`` clauses."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.IN, AccessMode.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.OUT, AccessMode.INOUT)
+
+
+def _base_buffer(array: np.ndarray) -> np.ndarray:
+    """Walk ``array.base`` up to the owning buffer."""
+    base = array
+    while isinstance(base.base, np.ndarray):
+        base = base.base
+    return base
+
+
+class DataRegion:
+    """A named, typed view of application memory.
+
+    Parameters
+    ----------
+    array:
+        The NumPy array (or view) holding the region's data.  The region
+        aliases this memory: writes through the region are visible to the
+        application and vice versa.
+    name:
+        Optional human-readable name used in traces and error messages.
+    """
+
+    __slots__ = ("array", "name", "descriptor", "_base_id", "_byte_start", "_byte_end")
+
+    def __init__(self, array: np.ndarray, name: Optional[str] = None) -> None:
+        if not isinstance(array, np.ndarray):
+            raise TaskDefinitionError(
+                f"DataRegion requires a numpy array, got {type(array).__name__}"
+            )
+        self.array = array
+        self.name = name or f"region@{id(array):#x}"
+        self.descriptor: TypeDescriptor = describe_array(array)
+        base = _base_buffer(array)
+        self._base_id = id(base)
+        if array.flags.c_contiguous or array.ndim <= 1:
+            base_addr = base.__array_interface__["data"][0]
+            my_addr = array.__array_interface__["data"][0]
+            self._byte_start = my_addr - base_addr
+            self._byte_end = self._byte_start + array.nbytes
+        else:
+            # Non-contiguous view: use the full byte span it touches within
+            # the base buffer (conservative for dependence purposes).
+            base_addr = base.__array_interface__["data"][0]
+            my_addr = array.__array_interface__["data"][0]
+            span = 0
+            for stride, dim in zip(array.strides, array.shape):
+                if dim > 0:
+                    span += abs(stride) * (dim - 1)
+            span += array.dtype.itemsize
+            self._byte_start = my_addr - base_addr
+            self._byte_end = self._byte_start + span
+
+    # -- identity & overlap -------------------------------------------------
+    @property
+    def base_id(self) -> int:
+        """Identity of the owning base buffer."""
+        return self._base_id
+
+    @property
+    def byte_interval(self) -> tuple[int, int]:
+        """Half-open byte interval within the base buffer."""
+        return (self._byte_start, self._byte_end)
+
+    @property
+    def region_key(self) -> tuple[int, int, int]:
+        """Hashable identity of this region (base buffer + byte interval)."""
+        return (self._base_id, self._byte_start, self._byte_end)
+
+    def overlaps(self, other: "DataRegion") -> bool:
+        """True if the two regions may touch common bytes."""
+        if self._base_id != other._base_id:
+            return False
+        return self._byte_start < other._byte_end and other._byte_start < self._byte_end
+
+    # -- data access ---------------------------------------------------------
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.array.dtype
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.array.shape)
+
+    def to_bytes_view(self) -> np.ndarray:
+        """A flat ``uint8`` view (copying only if the view is not contiguous)."""
+        arr = self.array
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        return arr.view(np.uint8).reshape(-1)
+
+    def snapshot(self) -> np.ndarray:
+        """Deep copy of the current contents (used to store THT outputs)."""
+        return np.array(self.array, copy=True)
+
+    def copy_from(self, values: np.ndarray) -> None:
+        """Bulk-overwrite the region (the ``copyOuts()`` of Figure 1)."""
+        values = np.asarray(values)
+        if values.shape != self.array.shape:
+            values = values.reshape(self.array.shape)
+        np.copyto(self.array, values, casting="unsafe")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataRegion(name={self.name!r}, dtype={self.array.dtype}, "
+            f"shape={self.shape}, bytes={self.nbytes})"
+        )
+
+
+def as_region(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataRegion:
+    """Coerce an array or region into a :class:`DataRegion`."""
+    if isinstance(obj, DataRegion):
+        return obj
+    return DataRegion(obj, name=name)
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One declared access of a task: a region plus its access mode."""
+
+    region: DataRegion
+    mode: AccessMode
+
+    @property
+    def reads(self) -> bool:
+        return self.mode.reads
+
+    @property
+    def writes(self) -> bool:
+        return self.mode.writes
+
+    @property
+    def nbytes(self) -> int:
+        return self.region.nbytes
+
+
+def In(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
+    """Declare a read-only (``in``) access."""
+    return DataAccess(as_region(obj, name), AccessMode.IN)
+
+
+def Out(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
+    """Declare a write-only (``out``) access."""
+    return DataAccess(as_region(obj, name), AccessMode.OUT)
+
+
+def InOut(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
+    """Declare a read-write (``inout``) access."""
+    return DataAccess(as_region(obj, name), AccessMode.INOUT)
+
+
+def validate_accesses(accesses: Sequence[DataAccess]) -> None:
+    """Sanity-check a task's access list.
+
+    Rejects duplicate declarations of the exact same region with conflicting
+    modes (a common annotation bug the paper warns about in Section III-E:
+    under-declared outputs silently break memoization).
+    """
+    seen: dict[tuple[int, int, int], AccessMode] = {}
+    for access in accesses:
+        key = access.region.region_key
+        if key in seen and seen[key] != access.mode:
+            raise TaskDefinitionError(
+                f"region {access.region.name!r} declared twice with conflicting "
+                f"modes {seen[key].value!r} and {access.mode.value!r}"
+            )
+        seen[key] = access.mode
+
+
+def total_bytes(accesses: Iterable[DataAccess], mode: Optional[AccessMode] = None) -> int:
+    """Total bytes of the accesses, optionally filtered by mode."""
+    return sum(a.nbytes for a in accesses if mode is None or a.mode == mode)

@@ -1,0 +1,279 @@
+"""Serial and threaded executors.
+
+Both executors run the tasks of a :class:`TaskDependenceGraph` to completion,
+calling into an optional memoization engine around every task exactly as the
+paper's Figure 1 describes: lookup when the task is pulled from the ready
+queue, commit when it finishes.
+
+* :class:`SerialExecutor` — one worker, wall-clock timing.  Used for baseline
+  correctness runs and for measuring per-task costs.
+* :class:`ThreadedExecutor` — real ``threading`` workers pulling from a shared
+  scheduler.  Python's GIL prevents faithful parallel speedup measurements
+  (see DESIGN.md §4), but this executor exercises the real concurrency paths:
+  per-bucket THT locks, the single IKT lock, postponed output copies and the
+  thread-safe graph, so it is the vehicle for the concurrency test-suite.
+
+Deterministic *performance* figures come from
+:class:`repro.runtime.simulator.SimulatedExecutor`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.atm_protocol import (
+    ATMAction,
+    ATMDecision,
+    EXECUTE_DECISION,
+    MemoizationEngineProtocol,
+)
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.scheduler import Scheduler, make_scheduler
+from repro.runtime.task import Task, TaskState
+from repro.runtime.trace import CoreState, TraceRecorder
+
+__all__ = ["RunResult", "BaseExecutor", "SerialExecutor", "ThreadedExecutor"]
+
+
+@dataclass
+class RunResult:
+    """Aggregate outcome of draining a task graph.
+
+    ``elapsed`` is wall-clock seconds for the serial/threaded executors and
+    simulated microseconds for the simulator (``time_unit`` distinguishes
+    them).
+    """
+
+    elapsed: float = 0.0
+    time_unit: str = "s"
+    tasks_completed: int = 0
+    tasks_executed: int = 0
+    tasks_memoized: int = 0
+    tasks_deferred: int = 0
+    tasks_trained: int = 0
+    trace: Optional[TraceRecorder] = None
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "RunResult") -> None:
+        """Accumulate a later drain into this result (same time unit)."""
+        if other.time_unit != self.time_unit:
+            raise RuntimeStateError("cannot merge results with different time units")
+        self.elapsed += other.elapsed
+        self.tasks_completed += other.tasks_completed
+        self.tasks_executed += other.tasks_executed
+        self.tasks_memoized += other.tasks_memoized
+        self.tasks_deferred += other.tasks_deferred
+        self.tasks_trained += other.tasks_trained
+        if other.trace is not None:
+            self.trace = other.trace
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of completed tasks whose execution was avoided."""
+        if self.tasks_completed == 0:
+            return 0.0
+        return (self.tasks_memoized + self.tasks_deferred) / self.tasks_completed
+
+
+class BaseExecutor:
+    """Shared bookkeeping for all executors."""
+
+    time_unit = "s"
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        engine: Optional[MemoizationEngineProtocol] = None,
+    ) -> None:
+        self.config = config or RuntimeConfig()
+        self.engine = engine
+        self.scheduler: Scheduler = make_scheduler(self.config)
+        self.trace = TraceRecorder(enabled=self.config.enable_tracing)
+        self._result = RunResult(time_unit=self.time_unit, trace=self.trace)
+
+    # -- runtime hooks ---------------------------------------------------------
+    def notify_ready(self, task: Task) -> None:
+        """Called by the graph when a task's dependences become satisfied."""
+        self.scheduler.task_ready(task, worker_hint=task.creation_index)
+
+    def result(self) -> RunResult:
+        return self._result
+
+    # -- helpers ---------------------------------------------------------------
+    def _lookup(self, task: Task, worker_id: int) -> ATMDecision:
+        if self.engine is None or not task.task_type.atm_eligible:
+            return EXECUTE_DECISION
+        return self.engine.task_ready(task, worker_id)
+
+    def _account(self, decision: ATMDecision) -> None:
+        result = self._result
+        result.tasks_completed += 1
+        if decision.action == ATMAction.SKIP:
+            result.tasks_memoized += 1
+        elif decision.action == ATMAction.DEFER:
+            result.tasks_deferred += 1
+        elif decision.action == ATMAction.EXECUTE_AND_TRAIN:
+            result.tasks_trained += 1
+            result.tasks_executed += 1
+        else:
+            result.tasks_executed += 1
+
+    def drain(self, graph: TaskDependenceGraph) -> RunResult:  # pragma: no cover
+        raise NotImplementedError
+
+
+class SerialExecutor(BaseExecutor):
+    """Single-threaded executor with wall-clock timing."""
+
+    def drain(self, graph: TaskDependenceGraph) -> RunResult:
+        t0 = time.perf_counter()
+        if self.engine is not None:
+            self.engine.set_deferred_completion_callback(
+                lambda task, nbytes: graph.complete_task(task, TaskState.MEMOIZED)
+            )
+        while not graph.all_finished:
+            task = self.scheduler.next_task(0)
+            if task is None:
+                if graph.all_finished:
+                    break
+                raise RuntimeStateError(
+                    "serial executor starved: ready queue empty but graph not finished "
+                    "(deferred task without a producer?)"
+                )
+            self._process(task, graph)
+        elapsed = time.perf_counter() - t0
+        self._result.elapsed += elapsed
+        return self._result
+
+    def _process(self, task: Task, graph: TaskDependenceGraph) -> None:
+        now = time.perf_counter
+        t_lookup = now()
+        decision = self._lookup(task, worker_id=0)
+        t_after_lookup = now()
+        self.trace.record(0, CoreState.ATM_HASH, t_lookup, t_after_lookup, task.label)
+        executed = False
+        if not decision.skips_execution:
+            task.state = TaskState.RUNNING
+            task.run()
+            executed = True
+        t_after_run = now()
+        if executed:
+            self.trace.record(
+                0, CoreState.TASK_EXECUTION, t_after_lookup, t_after_run, task.label
+            )
+        if decision.atm_handled and self.engine is not None:
+            self.engine.task_finished(task, decision, executed, worker_id=0)
+        t_after_commit = now()
+        self.trace.record(
+            0, CoreState.ATM_MEMOIZATION, t_after_run, t_after_commit, task.label
+        )
+        self._account(decision)
+        if decision.action != ATMAction.DEFER:
+            final_state = (
+                TaskState.FINISHED if executed else TaskState.MEMOIZED
+            )
+            graph.complete_task(task, final_state)
+        self.trace.sample_ready(now(), self.scheduler.pending())
+
+
+class ThreadedExecutor(BaseExecutor):
+    """Executor backed by real worker threads.
+
+    Workers spin on the scheduler with a small sleep when idle; the drain
+    returns when the graph reports every task terminal.
+    """
+
+    #: Idle back-off (seconds) for workers when the ready queue is empty.
+    IDLE_SLEEP = 0.0005
+    #: Safety timeout for a single drain (seconds).
+    DRAIN_TIMEOUT = 300.0
+
+    def drain(self, graph: TaskDependenceGraph) -> RunResult:
+        if graph.all_finished:
+            return self._result
+        stop_flag = threading.Event()
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+        if self.engine is not None:
+            self.engine.set_deferred_completion_callback(
+                lambda task, nbytes: graph.complete_task(task, TaskState.MEMOIZED)
+            )
+        t0 = time.perf_counter()
+
+        def worker_loop(worker_id: int) -> None:
+            while not stop_flag.is_set():
+                task = self.scheduler.next_task(worker_id)
+                if task is None:
+                    if graph.all_finished:
+                        return
+                    time.sleep(self.IDLE_SLEEP)
+                    continue
+                try:
+                    self._process(task, graph, worker_id)
+                except BaseException as exc:  # pragma: no cover - defensive
+                    with errors_lock:
+                        errors.append(exc)
+                    stop_flag.set()
+                    return
+
+        threads = [
+            threading.Thread(target=worker_loop, args=(i,), daemon=True, name=f"worker-{i}")
+            for i in range(self.config.num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        finished = False
+        deadline = time.perf_counter() + self.DRAIN_TIMEOUT
+        while time.perf_counter() < deadline:
+            if graph.wait_all_finished(timeout=0.05):
+                finished = True
+                break
+            if stop_flag.is_set():
+                break
+        stop_flag.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        elapsed = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        if not finished:
+            raise RuntimeStateError("threaded drain timed out")
+        self._result.elapsed += elapsed
+        return self._result
+
+    def _process(self, task: Task, graph: TaskDependenceGraph, worker_id: int) -> None:
+        now = time.perf_counter
+        t_lookup = now()
+        decision = self._lookup(task, worker_id)
+        t_after_lookup = now()
+        self.trace.record(
+            worker_id, CoreState.ATM_HASH, t_lookup, t_after_lookup, task.label
+        )
+        executed = False
+        if not decision.skips_execution:
+            task.state = TaskState.RUNNING
+            task.executed_on = worker_id
+            task.run()
+            executed = True
+        t_after_run = now()
+        if executed:
+            self.trace.record(
+                worker_id, CoreState.TASK_EXECUTION, t_after_lookup, t_after_run, task.label
+            )
+        if decision.atm_handled and self.engine is not None:
+            self.engine.task_finished(task, decision, executed, worker_id)
+        t_after_commit = now()
+        self.trace.record(
+            worker_id, CoreState.ATM_MEMOIZATION, t_after_run, t_after_commit, task.label
+        )
+        with graph._lock:  # account + complete under one lock for consistent counts
+            self._account(decision)
+        if decision.action != ATMAction.DEFER:
+            final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
+            graph.complete_task(task, final_state)
+        self.trace.sample_ready(now(), self.scheduler.pending())

@@ -1,0 +1,164 @@
+"""Task dependence graph (TDG).
+
+The TDG is a DAG whose nodes are tasks and whose edges are the dependences
+produced by :class:`repro.runtime.dependences.DependenceTracker`.  The graph
+tracks, per task, the number of unsatisfied predecessors; when it drops to
+zero the task becomes *ready* and is handed to the scheduler.
+
+The class is thread-safe: the threaded executor completes tasks from worker
+threads while the master may still be adding tasks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Callable, Iterable, Optional
+
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.dependences import DependenceTracker
+from repro.runtime.task import Task, TaskState
+
+__all__ = ["TaskDependenceGraph"]
+
+
+class TaskDependenceGraph:
+    """A dynamic task dependence graph with ready-task notification."""
+
+    def __init__(self, on_ready: Optional[Callable[[Task], None]] = None) -> None:
+        self._lock = threading.RLock()
+        self._tracker = DependenceTracker()
+        self._successors: dict[int, list[Task]] = defaultdict(list)
+        self._predecessor_count: dict[int, int] = {}
+        self._tasks: dict[int, Task] = {}
+        self._edge_count = 0
+        self._finished_count = 0
+        self._next_id = 0
+        self._on_ready = on_ready
+        self._all_done = threading.Condition(self._lock)
+
+    # -- construction ---------------------------------------------------------
+    def add_task(self, task: Task) -> Task:
+        """Register a task, compute its dependences and maybe mark it ready."""
+        with self._lock:
+            if task.task_id < 0:
+                task.task_id = self._next_id
+            self._next_id = max(self._next_id, task.task_id + 1)
+            task.creation_index = task.task_id
+            task.label = f"{task.task_type.name}#{task.task_id}"
+            predecessors = self._tracker.dependences_for(task)
+            pending = 0
+            for pred in predecessors:
+                if not pred.state.is_terminal:
+                    self._successors[pred.task_id].append(task)
+                    pending += 1
+                    self._edge_count += 1
+            self._predecessor_count[task.task_id] = pending
+            self._tasks[task.task_id] = task
+            if pending == 0:
+                self._mark_ready(task)
+        return task
+
+    def _mark_ready(self, task: Task) -> None:
+        task.state = TaskState.READY
+        if self._on_ready is not None:
+            self._on_ready(task)
+
+    # -- completion -----------------------------------------------------------
+    def complete_task(self, task: Task, state: TaskState = TaskState.FINISHED) -> list[Task]:
+        """Mark a task terminal and return the newly released (ready) tasks."""
+        with self._lock:
+            if task.task_id not in self._tasks:
+                raise RuntimeStateError(f"unknown task {task.label}")
+            if task.state.is_terminal:
+                raise RuntimeStateError(f"task {task.label} completed twice")
+            task.state = state
+            self._finished_count += 1
+            released: list[Task] = []
+            for succ in self._successors.pop(task.task_id, []):
+                self._predecessor_count[succ.task_id] -= 1
+                if self._predecessor_count[succ.task_id] == 0:
+                    self._mark_ready(succ)
+                    released.append(succ)
+            if self.all_finished:
+                self._all_done.notify_all()
+            return released
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        with self._lock:
+            return len(self._tasks)
+
+    @property
+    def edge_count(self) -> int:
+        with self._lock:
+            return self._edge_count
+
+    @property
+    def finished_count(self) -> int:
+        with self._lock:
+            return self._finished_count
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished_count == len(self._tasks)
+
+    def tasks(self) -> list[Task]:
+        with self._lock:
+            return list(self._tasks.values())
+
+    def pending_tasks(self) -> list[Task]:
+        """Tasks not yet terminal."""
+        with self._lock:
+            return [t for t in self._tasks.values() if not t.state.is_terminal]
+
+    def wait_all_finished(self, timeout: Optional[float] = None) -> bool:
+        """Block until every registered task is terminal."""
+        with self._all_done:
+            return self._all_done.wait_for(lambda: self.all_finished, timeout=timeout)
+
+    # -- analysis -------------------------------------------------------------
+    def critical_path_length(self, cost: Callable[[Task], float] | None = None) -> float:
+        """Length of the longest path through the DAG.
+
+        ``cost`` maps each task to its weight (default: the simulated cost
+        model).  Used by tests and by the harness to sanity-check speedup
+        upper bounds.
+        """
+        cost = cost or (lambda t: t.simulated_cost())
+        with self._lock:
+            order = sorted(self._tasks.values(), key=lambda t: t.task_id)
+            longest: dict[int, float] = {}
+            incoming: dict[int, list[Task]] = defaultdict(list)
+            for task_id, succs in self._successors.items():
+                for succ in succs:
+                    incoming[succ.task_id].append(self._tasks[task_id])
+            best = 0.0
+            for task in order:
+                base = max(
+                    (longest.get(p.task_id, 0.0) for p in incoming[task.task_id]),
+                    default=0.0,
+                )
+                longest[task.task_id] = base + cost(task)
+                best = max(best, longest[task.task_id])
+            return best
+
+    def to_networkx(self):  # pragma: no cover - optional dependency
+        """Export the TDG as a ``networkx.DiGraph`` (optional dependency)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        with self._lock:
+            for task in self._tasks.values():
+                graph.add_node(task.task_id, label=task.label, type=task.task_type.name)
+            for task_id, succs in self._successors.items():
+                for succ in succs:
+                    graph.add_edge(task_id, succ.task_id)
+        return graph
+
+    def iter_edges(self) -> Iterable[tuple[int, int]]:
+        with self._lock:
+            for task_id, succs in self._successors.items():
+                for succ in succs:
+                    yield (task_id, succ.task_id)

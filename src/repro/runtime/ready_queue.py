@@ -1,0 +1,126 @@
+"""Ready queues.
+
+When all dependences of a task are satisfied it is moved to the ready queue
+(``RQ`` in the paper's Figure 1) from which idle worker threads pull work.
+Three implementations are provided, all thread-safe:
+
+* :class:`FIFOReadyQueue` — creation-order service, the Nanos++ default;
+* :class:`LIFOReadyQueue` — depth-first service, better locality for some
+  workloads;
+* :class:`WorkStealingDeques` — one deque per worker with random stealing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.task import Task
+
+__all__ = ["FIFOReadyQueue", "LIFOReadyQueue", "WorkStealingDeques", "ReadyQueueStats"]
+
+
+class ReadyQueueStats:
+    """Running statistics about ready-queue occupancy.
+
+    Sampled occupancies feed Figure 8 (number of ready tasks over time).
+    """
+
+    def __init__(self) -> None:
+        self.max_depth = 0
+        self.total_pushes = 0
+        self.total_pops = 0
+
+    def on_push(self, depth: int) -> None:
+        self.total_pushes += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def on_pop(self) -> None:
+        self.total_pops += 1
+
+
+class FIFOReadyQueue:
+    """First-in-first-out ready queue protected by a single lock."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Task] = deque()
+        self._lock = threading.Lock()
+        self.stats = ReadyQueueStats()
+
+    def push(self, task: Task, worker_hint: Optional[int] = None) -> None:
+        with self._lock:
+            self._queue.append(task)
+            self.stats.on_push(len(self._queue))
+
+    def pop(self, worker_id: int = 0) -> Optional[Task]:
+        with self._lock:
+            if not self._queue:
+                return None
+            self.stats.on_pop()
+            return self._queue.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+
+class LIFOReadyQueue(FIFOReadyQueue):
+    """Last-in-first-out variant (pops the most recently released task)."""
+
+    def pop(self, worker_id: int = 0) -> Optional[Task]:
+        with self._lock:
+            if not self._queue:
+                return None
+            self.stats.on_pop()
+            return self._queue.pop()
+
+
+class WorkStealingDeques:
+    """Per-worker deques with random-victim stealing.
+
+    A worker pushes and pops from the tail of its own deque and steals from
+    the head of a random victim when its own deque is empty.
+    """
+
+    def __init__(self, num_workers: int, seed: int = 0) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._deques: list[deque[Task]] = [deque() for _ in range(num_workers)]
+        self._locks = [threading.Lock() for _ in range(num_workers)]
+        self._rng = np.random.default_rng(seed)
+        self._rng_lock = threading.Lock()
+        self._num_workers = num_workers
+        self.stats = ReadyQueueStats()
+
+    def push(self, task: Task, worker_hint: Optional[int] = None) -> None:
+        target = worker_hint if worker_hint is not None else 0
+        target %= self._num_workers
+        with self._locks[target]:
+            self._deques[target].append(task)
+            self.stats.on_push(sum(len(d) for d in self._deques))
+
+    def pop(self, worker_id: int = 0) -> Optional[Task]:
+        worker_id %= self._num_workers
+        with self._locks[worker_id]:
+            if self._deques[worker_id]:
+                self.stats.on_pop()
+                return self._deques[worker_id].pop()
+        # steal
+        with self._rng_lock:
+            order = self._rng.permutation(self._num_workers)
+        for victim in order:
+            victim = int(victim)
+            if victim == worker_id:
+                continue
+            with self._locks[victim]:
+                if self._deques[victim]:
+                    self.stats.on_pop()
+                    return self._deques[victim].popleft()
+        return None
+
+    def __len__(self) -> int:
+        return sum(len(d) for d in self._deques)

@@ -1,0 +1,56 @@
+"""Schedulers: the policy layer between the TDG and the workers.
+
+A scheduler owns a ready queue and decides which ready task an idle worker
+receives.  The paper uses the Nanos++ default (a central FIFO ready queue);
+LIFO and work-stealing policies are provided for the scheduling ablation
+bench.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import SchedulerError
+from repro.runtime.ready_queue import (
+    FIFOReadyQueue,
+    LIFOReadyQueue,
+    WorkStealingDeques,
+)
+from repro.runtime.task import Task
+
+__all__ = ["Scheduler", "make_scheduler"]
+
+
+class Scheduler:
+    """Wraps a ready queue behind a uniform push/pop interface."""
+
+    def __init__(self, queue) -> None:
+        self._queue = queue
+
+    def task_ready(self, task: Task, worker_hint: Optional[int] = None) -> None:
+        """Called by the runtime when a task's dependences are satisfied."""
+        self._queue.push(task, worker_hint)
+
+    def next_task(self, worker_id: int = 0) -> Optional[Task]:
+        """Called by an idle worker; ``None`` means no work is available."""
+        return self._queue.pop(worker_id)
+
+    def pending(self) -> int:
+        """Number of tasks currently waiting in the ready queue."""
+        return len(self._queue)
+
+    @property
+    def stats(self):
+        return self._queue.stats
+
+
+def make_scheduler(config: RuntimeConfig) -> Scheduler:
+    """Build the scheduler named by ``config.scheduler``."""
+    if config.scheduler == "fifo":
+        return Scheduler(FIFOReadyQueue())
+    if config.scheduler == "lifo":
+        return Scheduler(LIFOReadyQueue())
+    if config.scheduler == "work_stealing":
+        return Scheduler(WorkStealingDeques(config.num_threads, seed=config.seed))
+    raise SchedulerError(f"unknown scheduler {config.scheduler!r}")

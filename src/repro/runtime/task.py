@@ -1,0 +1,186 @@
+"""Tasks and task types.
+
+A **task type** corresponds to one annotated function in the source program
+(one ``#pragma omp task`` site in the paper's benchmarks): it carries the
+memoization policy knobs that the programmer specifies per task type
+(memoizable or not, ``tau_max``, ``L_training``) and an optional cost model
+used by the discrete-event simulator.
+
+A **task** is one dynamic instance: the function to run, its declared data
+accesses, plain (non-dependence) arguments, and bookkeeping state.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.common.exceptions import TaskDefinitionError
+from repro.runtime.data import AccessMode, DataAccess, validate_accesses
+
+__all__ = ["TaskState", "TaskType", "Task", "CostModel"]
+
+#: A cost model maps a task to its simulated execution cost in microseconds.
+CostModel = Callable[["Task"], float]
+
+
+class TaskState(enum.Enum):
+    """Lifecycle of a task inside the runtime."""
+
+    CREATED = "created"
+    READY = "ready"
+    RUNNING = "running"
+    MEMOIZED = "memoized"          # outputs provided by the THT, never executed
+    WAITING_INFLIGHT = "waiting"   # outputs will be provided by an in-flight task
+    FINISHED = "finished"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TaskState.FINISHED, TaskState.MEMOIZED)
+
+
+def _default_cost_model(task: "Task") -> float:
+    """Fallback cost model: proportional to the bytes the task touches.
+
+    Applications override this with calibrated models; the default assumes
+    1 byte of input+output corresponds to 0.005 us of work, which keeps the
+    simulator usable for ad-hoc user task graphs.
+    """
+    nbytes = sum(access.nbytes for access in task.accesses)
+    return 1.0 + 0.005 * nbytes
+
+
+@dataclass
+class TaskType:
+    """Static description of one task annotation site.
+
+    Attributes
+    ----------
+    name:
+        Unique name of the task type (e.g. ``"bs_thread"``,
+        ``"stencilComputation"``).
+    memoizable:
+        Whether the programmer marked this task type as suitable for ATM
+        (Section III-E: the programmer opts task types in).
+    tau_max:
+        Per-task Chebyshev error threshold used by Dynamic ATM for this task
+        type (Table II).  ``None`` falls back to the engine-wide default.
+    l_training:
+        Number of correctly approximated training tasks required before the
+        steady-state phase (Table II).  ``None`` falls back to the default.
+    cost_model:
+        Simulated execution cost in microseconds for a task of this type.
+    deterministic:
+        Whether tasks of this type are deterministic given their declared
+        inputs.  Non-deterministic task types are never memoized even if
+        ``memoizable`` is set (Section III-E limitation).
+    """
+
+    name: str
+    memoizable: bool = False
+    tau_max: Optional[float] = None
+    l_training: Optional[int] = None
+    cost_model: CostModel = _default_cost_model
+    deterministic: bool = True
+
+    _counter: itertools.count = field(
+        default_factory=itertools.count, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TaskDefinitionError("TaskType requires a non-empty name")
+        if self.tau_max is not None and self.tau_max < 0:
+            raise TaskDefinitionError("tau_max must be >= 0")
+        if self.l_training is not None and self.l_training < 1:
+            raise TaskDefinitionError("l_training must be >= 1")
+
+    @property
+    def atm_eligible(self) -> bool:
+        """Task types that ATM is allowed to memoize."""
+        return self.memoizable and self.deterministic
+
+    def next_instance_index(self) -> int:
+        return next(self._counter)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TaskType) and other.name == self.name
+
+
+@dataclass(eq=False)
+class Task:
+    """One dynamic task instance.
+
+    Tasks compare and hash by identity: two distinct dynamic instances are
+    never "equal", even if they reference the same regions and arguments.
+
+    The ``function`` is invoked as ``function(*args, **kwargs)``; the declared
+    ``accesses`` alias application memory, so the function reads its inputs
+    and writes its outputs directly through the NumPy arrays it was built
+    around (the accesses exist so the runtime and ATM can reason about the
+    data, exactly like OmpSs pragma clauses).
+    """
+
+    task_type: TaskType
+    function: Callable[..., Any]
+    accesses: Sequence[DataAccess]
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    task_id: int = -1
+    label: str = ""
+    state: TaskState = TaskState.CREATED
+
+    # Filled in by the runtime / executors.
+    creation_index: int = -1
+    creation_time: float = 0.0
+    start_time: float = 0.0
+    finish_time: float = 0.0
+    executed_on: int = -1
+
+    def __post_init__(self) -> None:
+        validate_accesses(self.accesses)
+        if not callable(self.function):
+            raise TaskDefinitionError("task function must be callable")
+        if not self.label:
+            self.label = f"{self.task_type.name}#{self.task_id}"
+
+    # -- data views ----------------------------------------------------------
+    @property
+    def inputs(self) -> list[DataAccess]:
+        """Accesses the task reads (``in`` and ``inout``)."""
+        return [a for a in self.accesses if a.reads]
+
+    @property
+    def outputs(self) -> list[DataAccess]:
+        """Accesses the task writes (``out`` and ``inout``)."""
+        return [a for a in self.accesses if a.writes]
+
+    @property
+    def input_bytes(self) -> int:
+        return sum(a.nbytes for a in self.inputs)
+
+    @property
+    def output_bytes(self) -> int:
+        return sum(a.nbytes for a in self.outputs)
+
+    @property
+    def strict_outputs(self) -> list[DataAccess]:
+        """Accesses declared ``out`` only."""
+        return [a for a in self.accesses if a.mode == AccessMode.OUT]
+
+    # -- execution -----------------------------------------------------------
+    def run(self) -> Any:
+        """Execute the task body."""
+        return self.function(*self.args, **self.kwargs)
+
+    def simulated_cost(self) -> float:
+        """Simulated execution cost (microseconds) from the type's cost model."""
+        return float(self.task_type.cost_model(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Task({self.label}, state={self.state.value})"

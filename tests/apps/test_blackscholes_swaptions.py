@@ -1,0 +1,161 @@
+"""Tests for the two financial applications: Blackscholes and Swaptions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.blackscholes import BlackscholesApp, black_scholes_price, cndf
+from repro.apps.swaptions import SWAPTION_PARAM_DOUBLES, SwaptionsApp, price_swaption
+
+from tests.conftest import make_serial_runtime
+
+
+class TestCNDF:
+    def test_symmetry(self):
+        x = np.array([-1.5, -0.3, 0.0, 0.3, 1.5])
+        assert np.allclose(cndf(x) + cndf(-x), 1.0, atol=1e-7)
+
+    def test_known_values(self):
+        assert cndf(np.array([0.0]))[0] == pytest.approx(0.5, abs=1e-7)
+        assert cndf(np.array([10.0]))[0] == pytest.approx(1.0, abs=1e-6)
+        assert cndf(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_monotonic(self):
+        xs = np.linspace(-3, 3, 100)
+        values = cndf(xs)
+        assert np.all(np.diff(values) > 0)
+
+
+class TestBlackScholesFormula:
+    def _params(self, spot, strike, rate, vol, time, otype):
+        return np.array([[spot, strike, rate, vol, time, otype]], dtype=np.float64)
+
+    def test_call_deep_in_the_money(self):
+        price = black_scholes_price(self._params(100, 50, 0.02, 0.2, 1.0, 0))[0]
+        assert price == pytest.approx(100 - 50 * np.exp(-0.02), rel=1e-2)
+
+    def test_put_deep_in_the_money(self):
+        price = black_scholes_price(self._params(10, 100, 0.02, 0.2, 1.0, 1))[0]
+        assert price == pytest.approx(100 * np.exp(-0.02) - 10, rel=1e-2)
+
+    def test_call_increases_with_spot(self):
+        low = black_scholes_price(self._params(90, 100, 0.02, 0.3, 1.0, 0))[0]
+        high = black_scholes_price(self._params(110, 100, 0.02, 0.3, 1.0, 0))[0]
+        assert high > low
+
+    def test_price_nonnegative(self):
+        rng = np.random.default_rng(1)
+        params = np.column_stack([
+            rng.uniform(10, 120, 50), rng.uniform(10, 120, 50),
+            rng.uniform(0.01, 0.08, 50), rng.uniform(0.05, 0.6, 50),
+            rng.uniform(0.1, 2.0, 50), rng.integers(0, 2, 50).astype(float),
+        ])
+        assert (black_scholes_price(params) >= -1e-6).all()
+
+    def test_vectorised_matches_elementwise(self):
+        rng = np.random.default_rng(2)
+        params = np.column_stack([
+            rng.uniform(50, 100, 10), rng.uniform(50, 100, 10),
+            np.full(10, 0.03), np.full(10, 0.25), np.full(10, 1.0),
+            np.zeros(10),
+        ])
+        full = black_scholes_price(params)
+        single = np.array([black_scholes_price(params[i:i + 1])[0] for i in range(10)])
+        assert np.allclose(full, single)
+
+
+class TestBlackscholesApp:
+    def test_app_runs_and_produces_prices(self):
+        app = BlackscholesApp(scale="tiny")
+        runtime = make_serial_runtime()
+        app.run(runtime)
+        output = app.output()
+        assert output.shape[0] == app.blocks * app.options_per_block
+        assert np.isfinite(output).all()
+        assert runtime.task_count == app.expected_task_count()
+
+    def test_deterministic_across_instances(self):
+        outputs = []
+        for _ in range(2):
+            app = BlackscholesApp(scale="tiny")
+            runtime = make_serial_runtime()
+            app.run(runtime)
+            outputs.append(app.output())
+        assert np.array_equal(outputs[0], outputs[1])
+
+    def test_portfolio_contains_repeated_blocks(self):
+        app = BlackscholesApp(scale="tiny")
+        unique_blocks = {app.params[b].tobytes() for b in range(app.blocks)}
+        assert len(unique_blocks) < app.blocks
+
+    def test_footprint_positive(self):
+        assert BlackscholesApp(scale="tiny").application_bytes() > 0
+
+    def test_info_matches_paper_table1(self):
+        info = BlackscholesApp.info
+        assert info.memoized_task_type == "bs_thread"
+        assert info.paper_number_of_tasks == 6109
+
+
+class TestSwaptionPricer:
+    def _record(self, strike=0.04, vol=0.2, trials=500, seed=1234):
+        params = np.zeros(SWAPTION_PARAM_DOUBLES)
+        params[0] = strike
+        params[1] = 3.0
+        params[2] = 5.0
+        params[3] = vol
+        params[4] = trials
+        params[5] = seed
+        params[6:] = 0.04
+        return params
+
+    def test_deterministic_for_identical_parameters(self):
+        result_a, result_b = np.zeros(2), np.zeros(2)
+        price_swaption(self._record(), result_a, steps=16)
+        price_swaption(self._record(), result_b, steps=16)
+        assert np.array_equal(result_a, result_b)
+
+    def test_price_positive_and_stderr_small(self):
+        result = np.zeros(2)
+        price_swaption(self._record(trials=2000), result, steps=16)
+        assert result[0] > 0.0
+        assert 0.0 <= result[1] < result[0]
+
+    def test_higher_volatility_higher_price(self):
+        low, high = np.zeros(2), np.zeros(2)
+        price_swaption(self._record(vol=0.1, trials=4000), low, steps=16)
+        price_swaption(self._record(vol=0.4, trials=4000), high, steps=16)
+        assert high[0] > low[0]
+
+
+class TestSwaptionsApp:
+    def test_app_runs(self):
+        app = SwaptionsApp(scale="tiny")
+        runtime = make_serial_runtime()
+        app.run(runtime)
+        prices = app.output()
+        assert prices.shape == (app.n_swaptions,)
+        assert np.isfinite(prices).all()
+
+    def test_parameter_record_is_376_bytes(self):
+        app = SwaptionsApp(scale="tiny")
+        assert app.params[0].nbytes == 376 == app.info.paper_task_input_bytes
+
+    def test_portfolio_contains_exact_duplicates(self):
+        app = SwaptionsApp(scale="tiny")
+        rows = {app.params[i].tobytes() for i in range(app.n_swaptions)}
+        assert len(rows) < app.n_swaptions
+
+    def test_correctness_of_duplicate_prices(self):
+        app = SwaptionsApp(scale="tiny")
+        runtime = make_serial_runtime()
+        app.run(runtime)
+        # Exact duplicate parameter rows must produce exactly equal prices.
+        seen: dict[bytes, float] = {}
+        for index in range(app.n_swaptions):
+            key = app.params[index].tobytes()
+            price = app.output()[index]
+            if key in seen:
+                assert price == seen[key]
+            seen[key] = price

@@ -1,0 +1,68 @@
+"""Tests for the benchmark registry and paper parameters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.base import BenchmarkApp, WorkloadScale
+from repro.apps.registry import (
+    BENCHMARK_CLASSES,
+    BENCHMARK_NAMES,
+    PAPER_PARAMETERS,
+    make_benchmark,
+)
+from repro.common.exceptions import WorkloadError
+
+
+class TestRegistry:
+    def test_six_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 6
+        assert set(BENCHMARK_NAMES) == {
+            "blackscholes", "gauss-seidel", "jacobi", "kmeans", "lu", "swaptions",
+        }
+
+    def test_make_benchmark_returns_fresh_instances(self):
+        a = make_benchmark("blackscholes", scale="tiny")
+        b = make_benchmark("blackscholes", scale="tiny")
+        assert a is not b
+        assert isinstance(a, BenchmarkApp)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_benchmark("linpack")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_benchmark("kmeans", scale="gigantic")
+
+    def test_scale_enum_accepted(self):
+        app = make_benchmark("swaptions", scale=WorkloadScale.TINY)
+        assert app.scale == WorkloadScale.TINY
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_has_paper_parameters(self, name):
+        paper = PAPER_PARAMETERS[name]
+        assert paper.l_training >= 1
+        assert paper.tau_max_percent > 0
+        assert paper.memory_overhead_percent > 0
+        assert paper.static_atm_speedup > 0
+        assert paper.dynamic_atm_speedup > 0
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_info_consistent_with_table2(self, name):
+        app_class = BENCHMARK_CLASSES[name]
+        paper = PAPER_PARAMETERS[name]
+        assert app_class.info.l_training == paper.l_training
+        assert 100.0 * app_class.info.tau_max == pytest.approx(paper.tau_max_percent)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_memoized_task_type_registered(self, name):
+        app = make_benchmark(name, scale="tiny")
+        assert app.info.memoized_task_type in app.task_types
+        assert app.memoized_task_type.atm_eligible
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_cost_models_positive(self, name):
+        app = make_benchmark(name, scale="tiny")
+        for task_type in app.task_types.values():
+            assert callable(task_type.cost_model)

@@ -1,0 +1,173 @@
+"""Tests for the Task History Table and the In-flight Key Table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atm.ikt import InFlightKeyTable
+from repro.atm.tht import TaskHistoryTable, THTEntry
+from repro.common.config import ATMConfig
+from repro.common.hashing import HashKey
+from repro.runtime.data import Out
+from repro.runtime.task import Task, TaskType
+
+TT = TaskType("table-test", memoizable=True)
+
+
+def make_key(value: int, p: float = 1.0) -> HashKey:
+    return HashKey(value=value, p=p, sampled_bytes=8, total_bytes=8)
+
+
+def make_outputs(seed: int = 0) -> list[np.ndarray]:
+    return [np.full(4, float(seed)), np.full(2, float(seed) + 0.5)]
+
+
+def make_task(index: int = 0) -> Task:
+    return Task(task_type=TT, function=lambda: None,
+                accesses=[Out(np.zeros(4))], task_id=index)
+
+
+class TestTHTEntry:
+    def test_stored_bytes(self):
+        entry = THTEntry(1, 1.0, "t", make_outputs(), producer_index=0)
+        assert entry.stored_bytes == 4 * 8 + 2 * 8
+
+    def test_matching_requires_key_type_and_p(self):
+        entry = THTEntry(42, 0.5, "t", make_outputs(), producer_index=0)
+        assert entry.matches(make_key(42, 0.5), "t")
+        assert not entry.matches(make_key(42, 1.0), "t")
+        assert not entry.matches(make_key(43, 0.5), "t")
+        assert not entry.matches(make_key(42, 0.5), "other")
+
+    def test_memory_bytes_includes_metadata(self):
+        entry = THTEntry(1, 1.0, "t", make_outputs(), producer_index=0)
+        assert entry.memory_bytes == entry.stored_bytes + 24
+
+
+class TestTaskHistoryTable:
+    def config(self, bits=2, capacity=2) -> ATMConfig:
+        return ATMConfig(tht_bucket_bits=bits, tht_bucket_capacity=capacity)
+
+    def test_insert_then_lookup(self):
+        tht = TaskHistoryTable(self.config())
+        key = make_key(5)
+        tht.insert(key, "t", make_outputs(1), producer_index=3)
+        entry = tht.lookup(key, "t")
+        assert entry is not None
+        assert entry.producer_index == 3
+        assert tht.hits == 1
+
+    def test_miss_recorded(self):
+        tht = TaskHistoryTable(self.config())
+        assert tht.lookup(make_key(1), "t") is None
+        assert tht.misses == 1
+        assert tht.hit_rate == 0.0
+
+    def test_bucket_selection_uses_low_bits(self):
+        tht = TaskHistoryTable(self.config(bits=2))
+        assert tht.bucket_index(make_key(0b1011)) == 0b11
+
+    def test_fifo_eviction(self):
+        tht = TaskHistoryTable(self.config(bits=0, capacity=2))
+        keys = [make_key(i) for i in range(3)]
+        for index, key in enumerate(keys):
+            tht.insert(key, "t", make_outputs(index), producer_index=index)
+        assert tht.evictions == 1
+        assert tht.lookup(keys[0], "t") is None       # oldest evicted
+        assert tht.lookup(keys[1], "t") is not None
+        assert tht.lookup(keys[2], "t") is not None
+
+    def test_refresh_existing_key_updates_in_place(self):
+        tht = TaskHistoryTable(self.config(bits=0, capacity=4))
+        key = make_key(9)
+        tht.insert(key, "t", make_outputs(1), producer_index=1)
+        tht.insert(key, "t", make_outputs(2), producer_index=2)
+        assert len(tht) == 1
+        assert tht.lookup(key, "t").producer_index == 2
+        assert tht.evictions == 0
+
+    def test_same_key_different_p_coexist(self):
+        tht = TaskHistoryTable(self.config(bits=0, capacity=4))
+        tht.insert(make_key(7, p=1.0), "t", make_outputs(1), producer_index=1)
+        tht.insert(make_key(7, p=0.5), "t", make_outputs(2), producer_index=2)
+        assert len(tht) == 2
+        assert tht.lookup(make_key(7, p=0.5), "t").producer_index == 2
+
+    def test_memory_bytes_grows_with_entries(self):
+        tht = TaskHistoryTable(self.config())
+        empty = tht.memory_bytes()
+        tht.insert(make_key(1), "t", make_outputs(), producer_index=0)
+        assert tht.memory_bytes() > empty
+
+    def test_occupancy_histogram(self):
+        tht = TaskHistoryTable(self.config(bits=1, capacity=4))
+        tht.insert(make_key(0), "t", make_outputs(), producer_index=0)  # bucket 0
+        tht.insert(make_key(1), "t", make_outputs(), producer_index=1)  # bucket 1
+        tht.insert(make_key(3), "t", make_outputs(), producer_index=2)  # bucket 1
+        assert tht.occupancy_histogram() == [1, 2]
+
+    def test_clear(self):
+        tht = TaskHistoryTable(self.config())
+        tht.insert(make_key(1), "t", make_outputs(), producer_index=0)
+        tht.lookup(make_key(1), "t")
+        tht.clear()
+        assert len(tht) == 0
+        assert tht.hits == 0 and tht.insertions == 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_bucket_capacity_invariant(self, key_values):
+        """Property: no bucket ever exceeds its configured capacity."""
+        tht = TaskHistoryTable(self.config(bits=2, capacity=3))
+        for index, value in enumerate(key_values):
+            tht.insert(make_key(value), "t", make_outputs(index), producer_index=index)
+            assert all(count <= 3 for count in tht.occupancy_histogram())
+
+
+class TestInFlightKeyTable:
+    def test_register_lookup_retire(self):
+        ikt = InFlightKeyTable(max_entries=4)
+        key = make_key(11)
+        producer = make_task(0)
+        assert ikt.register(key, "t", producer)
+        assert ikt.lookup(key, "t") is producer
+        assert ikt.retire(key, "t", producer)
+        assert ikt.lookup(key, "t") is None
+
+    def test_lookup_miss_counted(self):
+        ikt = InFlightKeyTable()
+        ikt.lookup(make_key(1), "t")
+        assert ikt.misses == 1 and ikt.hits == 0
+
+    def test_capacity_enforced(self):
+        ikt = InFlightKeyTable(max_entries=1)
+        assert ikt.register(make_key(1), "t", make_task(0))
+        assert not ikt.register(make_key(2), "t", make_task(1))
+        assert ikt.rejected_registrations == 1
+
+    def test_retire_only_matching_task(self):
+        ikt = InFlightKeyTable()
+        key = make_key(4)
+        first, second = make_task(0), make_task(1)
+        ikt.register(key, "t", first)
+        assert not ikt.retire(key, "t", second)
+        assert ikt.retire(key, "t", first)
+
+    def test_distinct_task_types_do_not_collide(self):
+        ikt = InFlightKeyTable()
+        key = make_key(6)
+        ikt.register(key, "a", make_task(0))
+        assert ikt.lookup(key, "b") is None
+
+    def test_memory_bytes(self):
+        ikt = InFlightKeyTable(max_entries=8)
+        assert ikt.memory_bytes() == 8 * 24
+
+    def test_clear(self):
+        ikt = InFlightKeyTable()
+        ikt.register(make_key(1), "t", make_task(0))
+        ikt.clear()
+        assert len(ikt) == 0 and ikt.registrations == 0

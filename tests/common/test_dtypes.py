@@ -1,0 +1,122 @@
+"""Tests for type descriptors and type-aware byte-significance ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.dtypes import (
+    TypeDescriptor,
+    byte_significance_ranks,
+    describe_array,
+    significance_order,
+)
+
+
+class TestDescribeArray:
+    def test_float32(self):
+        desc = describe_array(np.zeros(4, dtype=np.float32))
+        assert desc.itemsize == 4
+        assert desc.kind == "f"
+
+    def test_float64(self):
+        desc = describe_array(np.zeros(4, dtype=np.float64))
+        assert desc.itemsize == 8
+
+    def test_int32(self):
+        desc = describe_array(np.zeros(4, dtype=np.int32))
+        assert desc.kind == "i"
+
+    def test_uint8_single_byte(self):
+        desc = describe_array(np.zeros(4, dtype=np.uint8))
+        assert not desc.is_multibyte
+
+    def test_native_byteorder_resolved(self):
+        desc = describe_array(np.zeros(2, dtype=np.float32))
+        assert desc.byteorder in ("little", "big")
+
+
+class TestMSBOffsets:
+    def test_little_endian_float32(self):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        assert desc.msb_first_byte_offsets() == [3, 2, 1, 0]
+
+    def test_big_endian(self):
+        desc = TypeDescriptor("float32", 4, "f", "big")
+        assert desc.msb_first_byte_offsets() == [0, 1, 2, 3]
+
+    def test_single_byte(self):
+        desc = TypeDescriptor("uint8", 1, "u", "little")
+        assert desc.msb_first_byte_offsets() == [0]
+
+
+class TestByteSignificanceRanks:
+    def test_float32_ranks(self):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        ranks = byte_significance_ranks(desc, 8)
+        # Little-endian: byte 3 of each element is the MSB (rank 0).
+        assert list(ranks) == [3, 2, 1, 0, 3, 2, 1, 0]
+
+    def test_single_byte_type_all_rank_zero(self):
+        desc = TypeDescriptor("uint8", 1, "u", "little")
+        assert set(byte_significance_ranks(desc, 5).tolist()) == {0}
+
+    def test_trailing_partial_element(self):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        ranks = byte_significance_ranks(desc, 6)
+        assert list(ranks[:4]) == [3, 2, 1, 0]
+        assert list(ranks[4:]) == [3, 3]
+
+
+class TestSignificanceOrder:
+    def _order(self, descriptors, seed=0):
+        rng = np.random.default_rng(seed)
+        return significance_order(descriptors, rng)
+
+    def test_is_a_permutation(self):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        order = self._order([(desc, 16), (desc, 8)])
+        assert sorted(order.tolist()) == list(range(24))
+
+    def test_msb_bytes_come_first(self):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        nbytes = 16
+        order = self._order([(desc, nbytes)])
+        # The first nbytes/4 indexes must all be MSB positions (offset 3 mod 4).
+        first_group = order[: nbytes // 4]
+        assert all(index % 4 == 3 for index in first_group.tolist())
+
+    def test_empty_input(self):
+        assert self._order([]).size == 0
+
+    def test_mixed_types(self):
+        f32 = TypeDescriptor("float32", 4, "f", "little")
+        i64 = TypeDescriptor("int64", 8, "i", "little")
+        order = self._order([(f32, 8), (i64, 16)])
+        assert sorted(order.tolist()) == list(range(24))
+        # Level 0 contains MSBs of both regions: 2 from float32, 2 from int64.
+        level0 = set(order[:4].tolist())
+        assert {3, 7} <= level0          # float32 MSBs at offsets 3 and 7
+        assert {8 + 7, 8 + 15} <= level0  # int64 MSBs at global offsets 15 and 23
+
+    def test_deterministic_for_same_rng_seed(self):
+        desc = TypeDescriptor("float64", 8, "f", "little")
+        a = self._order([(desc, 64)], seed=7)
+        b = self._order([(desc, 64)], seed=7)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_changes_shuffle(self):
+        desc = TypeDescriptor("float64", 8, "f", "little")
+        a = self._order([(desc, 64)], seed=1)
+        b = self._order([(desc, 64)], seed=2)
+        assert not np.array_equal(a, b)
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30, deadline=None)
+    def test_permutation_property(self, n_elements, seed):
+        desc = TypeDescriptor("float32", 4, "f", "little")
+        nbytes = 4 * n_elements
+        order = self._order([(desc, nbytes)], seed=seed)
+        assert sorted(order.tolist()) == list(range(nbytes))

@@ -1,0 +1,166 @@
+"""Tests for the hashing substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.hashing import (
+    HASH_FUNCTIONS,
+    HashKey,
+    hash_bytes,
+    hash_sampled_bytes,
+    jenkins_lookup3,
+    jenkins_one_at_a_time,
+    splitmix64,
+)
+
+
+class TestJenkinsOneAtATime:
+    def test_deterministic(self):
+        assert jenkins_one_at_a_time(b"hello") == jenkins_one_at_a_time(b"hello")
+
+    def test_empty_input(self):
+        assert jenkins_one_at_a_time(b"") == 0
+
+    def test_known_sensitivity(self):
+        assert jenkins_one_at_a_time(b"hello") != jenkins_one_at_a_time(b"hellp")
+
+    def test_seed_changes_result(self):
+        assert jenkins_one_at_a_time(b"data", seed=1) != jenkins_one_at_a_time(b"data", seed=2)
+
+    def test_fits_32_bits(self):
+        value = jenkins_one_at_a_time(b"some longer buffer " * 10)
+        assert 0 <= value < 2 ** 32
+
+    def test_accepts_numpy_arrays(self):
+        arr = np.arange(16, dtype=np.uint8)
+        assert jenkins_one_at_a_time(arr) == jenkins_one_at_a_time(arr.tobytes())
+
+
+class TestJenkinsLookup3:
+    def test_deterministic(self):
+        data = b"the quick brown fox jumps over the lazy dog"
+        assert jenkins_lookup3(data) == jenkins_lookup3(data)
+
+    def test_64_bit_range(self):
+        assert 0 <= jenkins_lookup3(b"abc") < 2 ** 64
+
+    def test_different_lengths_differ(self):
+        assert jenkins_lookup3(b"aaaa") != jenkins_lookup3(b"aaaaa")
+
+    def test_block_boundary_sizes(self):
+        # Exercise the 12-byte mixing loop boundaries.
+        values = {jenkins_lookup3(bytes(range(n))) for n in (0, 1, 11, 12, 13, 24, 25)}
+        assert len(values) == 7
+
+    def test_seed_sensitivity(self):
+        assert jenkins_lookup3(b"abc", seed=0) != jenkins_lookup3(b"abc", seed=1)
+
+    def test_single_byte_change(self):
+        base = bytearray(range(64))
+        mutated = bytearray(base)
+        mutated[37] ^= 0x01
+        assert jenkins_lookup3(bytes(base)) != jenkins_lookup3(bytes(mutated))
+
+
+class TestSplitmix64:
+    def test_scalar_roundtrip_type(self):
+        assert isinstance(splitmix64(42), int)
+
+    def test_vectorised_matches_scalar(self):
+        values = np.arange(10, dtype=np.uint64)
+        vector = splitmix64(values)
+        for index, value in enumerate(values):
+            assert int(vector[index]) == splitmix64(int(value))
+
+    def test_bijective_on_sample(self):
+        sample = np.arange(1000, dtype=np.uint64)
+        assert len(set(np.asarray(splitmix64(sample)).tolist())) == 1000
+
+
+class TestHashBytes:
+    def test_deterministic(self):
+        data = np.random.default_rng(0).integers(0, 255, 4096, dtype=np.uint8)
+        assert hash_bytes(data) == hash_bytes(data.copy())
+
+    def test_empty_buffer(self):
+        assert isinstance(hash_bytes(b""), int)
+
+    def test_length_sensitivity(self):
+        assert hash_bytes(b"\x00" * 8) != hash_bytes(b"\x00" * 16)
+
+    def test_order_sensitivity(self):
+        a = bytes(range(32))
+        b = bytes(reversed(range(32)))
+        assert hash_bytes(a) != hash_bytes(b)
+
+    def test_single_byte_flip(self):
+        base = np.zeros(1 << 16, dtype=np.uint8)
+        mutated = base.copy()
+        mutated[12345] = 1
+        assert hash_bytes(base) != hash_bytes(mutated)
+
+    def test_seed_sensitivity(self):
+        assert hash_bytes(b"payload", seed=1) != hash_bytes(b"payload", seed=2)
+
+    def test_accepts_non_byte_arrays(self):
+        floats = np.linspace(0, 1, 100)
+        assert hash_bytes(floats) == hash_bytes(floats.tobytes())
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_itself_property(self, data):
+        assert hash_bytes(data) == hash_bytes(bytes(data))
+
+    @given(st.binary(min_size=1, max_size=100), st.integers(min_value=0, max_value=99))
+    @settings(max_examples=50, deadline=None)
+    def test_flip_changes_hash_property(self, data, index):
+        index %= len(data)
+        mutated = bytearray(data)
+        mutated[index] ^= 0xFF
+        assert hash_bytes(data) != hash_bytes(bytes(mutated))
+
+
+class TestHashSampledBytes:
+    def test_subset_selection(self):
+        data = np.arange(100, dtype=np.uint8)
+        indices = np.array([0, 10, 20], dtype=np.int64)
+        expected = HASH_FUNCTIONS["numpy"](data[indices], 0)
+        assert hash_sampled_bytes(data, indices) == expected
+
+    def test_empty_indices(self):
+        data = np.arange(10, dtype=np.uint8)
+        assert isinstance(hash_sampled_bytes(data, np.empty(0, dtype=np.int64)), int)
+
+    def test_function_selection(self):
+        data = np.arange(30, dtype=np.uint8)
+        indices = np.arange(30, dtype=np.int64)
+        assert hash_sampled_bytes(data, indices, function="lookup3") == jenkins_lookup3(data)
+
+    def test_ignores_unsampled_bytes(self):
+        data = np.arange(100, dtype=np.uint8)
+        mutated = data.copy()
+        mutated[50] = 0
+        indices = np.array([1, 2, 3], dtype=np.int64)
+        assert hash_sampled_bytes(data, indices) == hash_sampled_bytes(mutated, indices)
+
+
+class TestHashKey:
+    def test_bucket_uses_low_bits(self):
+        key = HashKey(value=0b101101, p=1.0)
+        assert key.bucket(4) == 0b1101
+
+    def test_bucket_zero_bits(self):
+        assert HashKey(value=12345).bucket(0) == 0
+
+    def test_int_conversion(self):
+        assert int(HashKey(value=77)) == 77
+
+    def test_storage_is_eight_bytes(self):
+        assert HashKey(value=1).storage_bytes == 8
+
+    def test_registry_contains_all_functions(self):
+        assert set(HASH_FUNCTIONS) == {"numpy", "lookup3", "one_at_a_time"}

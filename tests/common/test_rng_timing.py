@@ -1,0 +1,84 @@
+"""Tests for deterministic RNG helpers and timing utilities."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.common.rng import derive_seed, generator_for, spawn_generators
+from repro.common.timing import Stopwatch, Timer, timed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_64_bit_range(self):
+        assert 0 <= derive_seed(123, "x", "y") < 2 ** 64
+
+
+class TestGeneratorFor:
+    def test_same_path_same_stream(self):
+        a = generator_for(7, "workload").random(5)
+        b = generator_for(7, "workload").random(5)
+        assert (a == b).all()
+
+    def test_different_paths_differ(self):
+        a = generator_for(7, "one").random(5)
+        b = generator_for(7, "two").random(5)
+        assert not (a == b).all()
+
+    def test_spawn_generators_independent(self):
+        gens = spawn_generators(3, 4, "workers")
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 4
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.002)
+        first = sw.stop()
+        sw.start()
+        time.sleep(0.002)
+        sw.stop()
+        assert sw.total >= first
+        assert sw.total > 0.003
+
+    def test_double_start_raises(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.stop()
+        sw.reset()
+        assert sw.total == 0.0
+        assert not sw.running
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            time.sleep(0.002)
+        assert t.elapsed >= 0.002
+
+    def test_timed_helper(self):
+        with timed() as t:
+            time.sleep(0.001)
+        assert t.elapsed > 0.0

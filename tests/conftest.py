@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atm.engine import ATMEngine
+from repro.atm.policy import DynamicATMPolicy, StaticATMPolicy
+from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
+from repro.runtime.api import TaskRuntime
+from repro.runtime.data import In, Out
+from repro.runtime.executor import SerialExecutor, ThreadedExecutor
+from repro.runtime.simulator import SimulatedExecutor
+from repro.runtime.task import TaskType
+
+
+@pytest.fixture
+def atm_config() -> ATMConfig:
+    return ATMConfig(tht_bucket_bits=4, tht_bucket_capacity=8)
+
+
+@pytest.fixture
+def static_engine(atm_config) -> ATMEngine:
+    return ATMEngine(config=atm_config, policy=StaticATMPolicy(atm_config), num_threads=2)
+
+
+@pytest.fixture
+def dynamic_engine(atm_config) -> ATMEngine:
+    return ATMEngine(config=atm_config, policy=DynamicATMPolicy(atm_config), num_threads=2)
+
+
+@pytest.fixture
+def serial_runtime() -> TaskRuntime:
+    return TaskRuntime(executor=SerialExecutor(config=RuntimeConfig(num_threads=1)))
+
+
+def make_serial_runtime(engine=None) -> TaskRuntime:
+    return TaskRuntime(
+        executor=SerialExecutor(config=RuntimeConfig(num_threads=1), engine=engine)
+    )
+
+
+def make_threaded_runtime(engine=None, threads: int = 4) -> TaskRuntime:
+    return TaskRuntime(
+        executor=ThreadedExecutor(config=RuntimeConfig(num_threads=threads), engine=engine)
+    )
+
+
+def make_simulated_runtime(engine=None, cores: int = 4, sim_config=None) -> TaskRuntime:
+    return TaskRuntime(
+        executor=SimulatedExecutor(
+            config=RuntimeConfig(num_threads=cores),
+            engine=engine,
+            sim_config=sim_config or SimulationConfig(),
+        )
+    )
+
+
+SQUARE_TYPE = TaskType("square", memoizable=True)
+
+
+def square_body(src: np.ndarray, dst: np.ndarray) -> None:
+    dst[:] = src ** 2
+
+
+def submit_square(runtime: TaskRuntime, src: np.ndarray, dst: np.ndarray):
+    """Helper used across executor/engine tests: dst = src ** 2 as a task."""
+    return runtime.submit(
+        SQUARE_TYPE, square_body, accesses=[In(src), Out(dst)], args=(src, dst)
+    )

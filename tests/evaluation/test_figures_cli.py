@@ -1,0 +1,145 @@
+"""Tests for the figure/table generators, the reporting helpers and the CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.evaluation import (
+    ablation_sizing,
+    fig3_speedup,
+    fig4_correctness,
+    fig5_sensitivity,
+    fig6_scalability,
+    fig8_ready_tasks,
+    fig9_redundancy,
+    tables,
+)
+from repro.evaluation.cli import build_parser, main
+from repro.evaluation.reporting import format_kv, format_series, format_table
+from repro.evaluation.runner import clear_reference_cache
+
+FAST = dict(scale="tiny", cores=4)
+ONE_BENCH = ("blackscholes",)
+TWO_BENCH = ("blackscholes", "swaptions")
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_reference_cache()
+    yield
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(["name", "value"], [["a", 1.234], ["bbbb", None]])
+        lines = text.splitlines()
+        assert "1.23" in lines[2]
+        assert "-" in lines[3]
+
+    def test_format_table_with_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_format_series(self):
+        assert format_series("s", [1, 2], [3.0, 4.0]) == "s: (1, 3), (2, 4)"
+
+    def test_format_kv(self):
+        text = format_kv({"alpha": 1.5, "beta": "x"}, title="K")
+        assert text.splitlines()[0] == "K"
+        assert "1.500" in text
+
+
+class TestFigureGenerators:
+    def test_fig3_compute_and_report(self):
+        rows = fig3_speedup.compute(benchmarks=ONE_BENCH, include_oracles=False, **FAST)
+        assert len(rows) == 1
+        assert rows[0].static_tht_ikt > 0
+        text = fig3_speedup.report(rows)
+        assert "geomean" in text and "blackscholes" in text
+
+    def test_fig4_compute_and_report(self):
+        rows = fig4_correctness.compute(benchmarks=ONE_BENCH, include_oracle=False, **FAST)
+        assert rows[0].static_correctness == pytest.approx(100.0)
+        assert "Figure 4" in fig4_correctness.report(rows)
+
+    def test_fig5_compute_and_report(self):
+        curves = fig5_sensitivity.compute(
+            benchmarks=ONE_BENCH, ladder=(2.0 ** -10, 1.0), **FAST
+        )
+        curve = curves[0]
+        assert curve.correctness_at(1.0) == pytest.approx(100.0)
+        assert len(curve.p_values) == 2
+        assert "Figure 5" in fig5_sensitivity.report(curves)
+        with pytest.raises(KeyError):
+            curve.correctness_at(0.123)
+
+    def test_fig6_compute_and_report(self):
+        series = fig6_scalability.compute(
+            benchmarks=ONE_BENCH, core_counts=(1, 2), include_oracle=False, scale="tiny"
+        )
+        assert series[0].cores == [1, 2]
+        assert all(s > 0 for s in series[0].dynamic_speedup)
+        text = fig6_scalability.report(series)
+        assert "geomean" in text
+
+    def test_fig8_compute_and_report(self):
+        result = fig8_ready_tasks.compute(benchmark="blackscholes", scale="tiny", cores=4)
+        assert result.without_atm_max_ready >= 0
+        assert result.speedup > 0
+        assert "Figure 8" in fig8_ready_tasks.report(result)
+
+    def test_fig9_compute_and_report(self):
+        curves = fig9_redundancy.compute(benchmarks=TWO_BENCH, mode="static", **FAST)
+        blackscholes = curves[0]
+        assert blackscholes.total_reuse_events > 0
+        assert blackscholes.reuse_generated_before(1.0) == pytest.approx(1.0)
+        assert "Figure 9" in fig9_redundancy.report(curves)
+
+    def test_tables_compute_and_report(self):
+        t1 = tables.compute_table1(scale="tiny")
+        assert len(t1) == 6
+        assert "Table I" in tables.report_table1(t1)
+        t2 = tables.compute_table2()
+        assert {row.benchmark for row in t2} == set(
+            r.benchmark for r in t1
+        )
+        assert all(row.l_training == row.paper_l_training for row in t2)
+        assert "Table II" in tables.report_table2(t2)
+        t3 = tables.compute_table3(scale="tiny")
+        assert all(row.memory_overhead_percent >= 0 for row in t3)
+        assert "Table III" in tables.report_table3(t3)
+
+    def test_ablation_sweeps(self):
+        bits = ablation_sizing.compute_bucket_bits_sweep(
+            benchmark="blackscholes", bits_values=(0, 4), **FAST
+        )
+        assert [p.value for p in bits] == [0, 4]
+        capacity = ablation_sizing.compute_capacity_sweep(
+            benchmark="blackscholes", capacities=(4, 128), **FAST
+        )
+        assert capacity[-1].reuse_percent >= capacity[0].reuse_percent - 1e-9
+        assert "ablation" in ablation_sizing.report(bits, "blackscholes")
+
+
+class TestCLI:
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        for command in ["fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+                        "table1", "table2", "table3", "ablation", "all"]:
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_main_table2_runs_and_writes_output(self, tmp_path, capsys):
+        output_file = tmp_path / "table2.txt"
+        exit_code = main(["table2", "--output", str(output_file)])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Table II" in captured.out
+        assert "Table II" in output_file.read_text()
+
+    def test_main_fig4_on_one_benchmark(self, capsys):
+        exit_code = main([
+            "fig4", "--scale", "tiny", "--cores", "2", "--benchmarks", "swaptions",
+        ])
+        assert exit_code == 0
+        assert "swaptions" in capsys.readouterr().out

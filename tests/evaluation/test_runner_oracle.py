@@ -1,0 +1,102 @@
+"""Tests for the experiment runner and the oracle sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import EvaluationError
+from repro.evaluation.oracle import find_oracle
+from repro.evaluation.runner import (
+    ExperimentSpec,
+    clear_reference_cache,
+    geometric_mean,
+    run_benchmark,
+    run_reference,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_reference_cache()
+    yield
+    clear_reference_cache()
+
+
+class TestRunner:
+    def test_reference_is_cached(self):
+        first = run_reference("swaptions", scale="tiny", cores=2)
+        second = run_reference("swaptions", scale="tiny", cores=2)
+        assert first[1] == second[1]
+        assert np.array_equal(first[0], second[0])
+
+    def test_no_atm_run_has_no_stats(self):
+        result = run_benchmark(ExperimentSpec(benchmark="swaptions", scale="tiny", mode="none", cores=2))
+        assert result.atm_stats == {}
+        assert result.speedup == pytest.approx(1.0, rel=0.02)
+
+    def test_static_run_reports_speedup_and_correctness(self):
+        result = run_benchmark(
+            ExperimentSpec(benchmark="blackscholes", scale="tiny", mode="static", cores=4)
+        )
+        assert result.correctness == pytest.approx(100.0)
+        assert result.speedup > 1.5
+        assert result.tasks_memoized > 0
+        assert result.memory_overhead_percent > 0.0
+
+    def test_dynamic_run_reports_chosen_p(self):
+        result = run_benchmark(
+            ExperimentSpec(benchmark="blackscholes", scale="tiny", mode="dynamic", cores=4)
+        )
+        assert result.chosen_p is None or 0 < result.chosen_p <= 1.0
+        assert "reuse_events" in result.atm_stats
+
+    def test_fixed_p_run(self):
+        result = run_benchmark(
+            ExperimentSpec(benchmark="swaptions", scale="tiny", mode="fixed_p", p=1.0, cores=2)
+        )
+        assert result.correctness == pytest.approx(100.0)
+
+    def test_tracing_spec_returns_trace(self):
+        result = run_benchmark(
+            ExperimentSpec(benchmark="swaptions", scale="tiny", mode="static", cores=2,
+                           enable_tracing=True)
+        )
+        assert result.trace is not None
+        assert result.trace.intervals
+
+    def test_serial_executor_spec(self):
+        result = run_benchmark(
+            ExperimentSpec(benchmark="swaptions", scale="tiny", mode="static", cores=1,
+                           executor="serial")
+        )
+        assert result.time_unit == "s"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(EvaluationError):
+            run_benchmark(ExperimentSpec(benchmark="swaptions", scale="tiny", executor="gpu"))
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([2.0, 0.0]) == pytest.approx(2.0)
+
+
+class TestOracle:
+    def test_oracle_meets_correctness_target(self):
+        oracle = find_oracle("blackscholes", min_correctness=95.0, scale="tiny", cores=4)
+        assert oracle.correctness >= 95.0
+        assert 0 < oracle.chosen_p <= 1.0
+        assert oracle.sweep[-1][0] == oracle.chosen_p
+
+    def test_oracle_100_is_at_least_as_conservative_as_95(self):
+        o95 = find_oracle("blackscholes", min_correctness=95.0, scale="tiny", cores=4)
+        o100 = find_oracle("blackscholes", min_correctness=100.0, scale="tiny", cores=4)
+        assert o100.chosen_p >= o95.chosen_p
+        assert o100.correctness == pytest.approx(100.0)
+
+    def test_oracle_with_restricted_ladder(self):
+        oracle = find_oracle(
+            "swaptions", min_correctness=95.0, scale="tiny", cores=2, ladder=(0.5, 1.0)
+        )
+        assert oracle.chosen_p in (0.5, 1.0)

@@ -1,0 +1,107 @@
+"""Tests for the user-facing runtime API (TaskRuntime and the @task decorator)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.api import TaskRuntime, task
+from repro.runtime.data import In, Out
+from repro.runtime.task import TaskType
+
+from tests.conftest import make_serial_runtime
+
+
+class TestTaskRuntime:
+    def test_submit_and_wait(self):
+        runtime = make_serial_runtime()
+        src, dst = np.arange(4.0), np.zeros(4)
+        tt = TaskType("copy")
+        runtime.submit(tt, lambda s, d: d.__setitem__(slice(None), s),
+                       accesses=[In(src), Out(dst)], args=(src, dst))
+        result = runtime.wait_all()
+        assert dst.tolist() == src.tolist()
+        assert result.tasks_completed == 1
+
+    def test_task_count(self):
+        runtime = make_serial_runtime()
+        tt = TaskType("noop")
+        for _ in range(3):
+            runtime.submit(tt, lambda: None, accesses=[Out(np.zeros(1))])
+        assert runtime.task_count == 3
+
+    def test_finish_closes_runtime(self):
+        runtime = make_serial_runtime()
+        tt = TaskType("noop")
+        runtime.submit(tt, lambda: None, accesses=[Out(np.zeros(1))])
+        runtime.finish()
+        with pytest.raises(RuntimeStateError):
+            runtime.submit(tt, lambda: None, accesses=[Out(np.zeros(1))])
+        with pytest.raises(RuntimeStateError):
+            runtime.wait_all()
+
+    def test_context_manager_finishes_on_exit(self):
+        data = np.zeros(1)
+        tt = TaskType("inc")
+        with make_serial_runtime() as runtime:
+            runtime.submit(tt, lambda d: d.__setitem__(0, 1.0),
+                           accesses=[Out(data)], args=(data,))
+        assert data[0] == 1.0
+
+    def test_multiple_barriers(self):
+        runtime = make_serial_runtime()
+        data = np.zeros(1)
+        tt = TaskType("inc2")
+
+        def bump(d):
+            d[0] += 1
+
+        runtime.submit(tt, bump, accesses=[Out(data)], args=(data,))
+        first = runtime.wait_all()
+        runtime.submit(tt, bump, accesses=[Out(data)], args=(data,))
+        second = runtime.wait_all()
+        assert data[0] == 2.0
+        assert second.tasks_completed == 2 >= first.tasks_completed
+
+    def test_default_executor_is_serial(self):
+        runtime = TaskRuntime()
+        assert runtime.executor is not None
+        assert runtime.result.tasks_completed == 0
+
+
+class TestTaskDecorator:
+    def test_runs_directly_without_runtime(self):
+        tt = TaskType("double", memoizable=True)
+
+        @task(tt, lambda src, dst: [In(src), Out(dst)])
+        def double(src, dst):
+            dst[:] = 2 * src
+
+        a, b = np.ones(3), np.zeros(3)
+        double(a, b)
+        assert b.tolist() == [2.0, 2.0, 2.0]
+
+    def test_submits_when_runtime_given(self):
+        tt = TaskType("triple", memoizable=True)
+
+        @task(tt, lambda src, dst: [In(src), Out(dst)])
+        def triple(src, dst):
+            dst[:] = 3 * src
+
+        runtime = make_serial_runtime()
+        a, b = np.ones(3), np.zeros(3)
+        submitted = triple(a, b, runtime=runtime)
+        assert submitted.task_type is tt
+        assert b.tolist() == [0.0, 0.0, 0.0]  # not executed yet
+        runtime.finish()
+        assert b.tolist() == [3.0, 3.0, 3.0]
+
+    def test_decorator_exposes_task_type(self):
+        tt = TaskType("exposed")
+
+        @task(tt, lambda: [])
+        def noop():
+            return None
+
+        assert noop.task_type is tt

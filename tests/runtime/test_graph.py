@@ -1,0 +1,142 @@
+"""Tests for the task dependence graph."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.data import In, InOut, Out
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.task import Task, TaskState, TaskType
+
+TT = TaskType("graph-test")
+
+
+def make_task(accesses):
+    return Task(task_type=TT, function=lambda: None, accesses=accesses)
+
+
+class TestGraphConstruction:
+    def test_independent_tasks_immediately_ready(self):
+        ready = []
+        graph = TaskDependenceGraph(on_ready=ready.append)
+        t1 = graph.add_task(make_task([Out(np.zeros(4))]))
+        t2 = graph.add_task(make_task([Out(np.zeros(4))]))
+        assert ready == [t1, t2]
+        assert t1.state == TaskState.READY
+
+    def test_dependent_task_not_ready_until_predecessor_completes(self):
+        data = np.zeros(4)
+        ready = []
+        graph = TaskDependenceGraph(on_ready=ready.append)
+        writer = graph.add_task(make_task([Out(data)]))
+        reader = graph.add_task(make_task([In(data)]))
+        assert reader not in ready
+        released = graph.complete_task(writer)
+        assert released == [reader]
+        assert reader in ready
+
+    def test_task_ids_assigned_in_creation_order(self):
+        graph = TaskDependenceGraph()
+        ids = [graph.add_task(make_task([Out(np.zeros(2))])).task_id for _ in range(5)]
+        assert ids == sorted(ids)
+
+    def test_counts(self):
+        data = np.zeros(4)
+        graph = TaskDependenceGraph()
+        writer = graph.add_task(make_task([Out(data)]))
+        graph.add_task(make_task([In(data)]))
+        assert graph.task_count == 2
+        assert graph.edge_count == 1
+        assert graph.finished_count == 0
+        graph.complete_task(writer)
+        assert graph.finished_count == 1
+
+
+class TestCompletion:
+    def test_all_finished(self):
+        graph = TaskDependenceGraph()
+        t = graph.add_task(make_task([Out(np.zeros(4))]))
+        assert not graph.all_finished
+        graph.complete_task(t)
+        assert graph.all_finished
+
+    def test_double_completion_rejected(self):
+        graph = TaskDependenceGraph()
+        t = graph.add_task(make_task([Out(np.zeros(4))]))
+        graph.complete_task(t)
+        with pytest.raises(RuntimeStateError):
+            graph.complete_task(t)
+
+    def test_unknown_task_rejected(self):
+        graph = TaskDependenceGraph()
+        orphan = make_task([Out(np.zeros(4))])
+        orphan.task_id = 99
+        with pytest.raises(RuntimeStateError):
+            graph.complete_task(orphan)
+
+    def test_memoized_terminal_state(self):
+        graph = TaskDependenceGraph()
+        t = graph.add_task(make_task([Out(np.zeros(4))]))
+        graph.complete_task(t, TaskState.MEMOIZED)
+        assert t.state == TaskState.MEMOIZED
+        assert graph.all_finished
+
+    def test_diamond_releases_join_only_after_both_branches(self):
+        source = np.zeros(4)
+        left, right = np.zeros(4), np.zeros(4)
+        graph = TaskDependenceGraph()
+        producer = graph.add_task(make_task([Out(source)]))
+        branch_l = graph.add_task(make_task([In(source), Out(left)]))
+        branch_r = graph.add_task(make_task([In(source), Out(right)]))
+        join = graph.add_task(make_task([In(left), In(right)]))
+        graph.complete_task(producer)
+        assert graph.complete_task(branch_l) == []
+        assert graph.complete_task(branch_r) == [join]
+
+    def test_pending_tasks(self):
+        graph = TaskDependenceGraph()
+        t = graph.add_task(make_task([Out(np.zeros(4))]))
+        assert graph.pending_tasks() == [t]
+        graph.complete_task(t)
+        assert graph.pending_tasks() == []
+
+    def test_wait_all_finished_immediate(self):
+        graph = TaskDependenceGraph()
+        t = graph.add_task(make_task([Out(np.zeros(4))]))
+        graph.complete_task(t)
+        assert graph.wait_all_finished(timeout=0.1)
+
+
+class TestAnalysis:
+    def test_critical_path_of_chain(self):
+        data = np.zeros(4)
+        graph = TaskDependenceGraph()
+        for _ in range(3):
+            graph.add_task(make_task([InOut(data)]))
+        length = graph.critical_path_length(cost=lambda t: 2.0)
+        assert length == pytest.approx(6.0)
+
+    def test_critical_path_of_independent_tasks(self):
+        graph = TaskDependenceGraph()
+        for _ in range(5):
+            graph.add_task(make_task([Out(np.zeros(4))]))
+        assert graph.critical_path_length(cost=lambda t: 3.0) == pytest.approx(3.0)
+
+    def test_iter_edges(self):
+        data = np.zeros(4)
+        graph = TaskDependenceGraph()
+        a = graph.add_task(make_task([Out(data)]))
+        b = graph.add_task(make_task([In(data)]))
+        assert list(graph.iter_edges()) == [(a.task_id, b.task_id)]
+
+    def test_to_networkx_export(self):
+        networkx = pytest.importorskip("networkx")
+        data = np.zeros(4)
+        graph = TaskDependenceGraph()
+        graph.add_task(make_task([Out(data)]))
+        graph.add_task(make_task([In(data)]))
+        exported = graph.to_networkx()
+        assert exported.number_of_nodes() == 2
+        assert exported.number_of_edges() == 1

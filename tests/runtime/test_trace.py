@@ -1,0 +1,97 @@
+"""Tests for the execution trace recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.trace import CoreState, StateInterval, TraceRecorder, render_ascii_trace
+
+
+class TestTraceRecorder:
+    def test_record_and_totals(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.TASK_EXECUTION, 0.0, 2.0, "t#0")
+        trace.record(0, CoreState.ATM_HASH, 2.0, 3.0, "t#1")
+        trace.record(1, CoreState.TASK_EXECUTION, 0.0, 1.0, "t#2")
+        totals = trace.state_totals()
+        assert totals[CoreState.TASK_EXECUTION] == pytest.approx(3.0)
+        assert totals[CoreState.ATM_HASH] == pytest.approx(1.0)
+
+    def test_totals_per_core(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.TASK_EXECUTION, 0.0, 2.0)
+        trace.record(1, CoreState.TASK_EXECUTION, 0.0, 5.0)
+        assert trace.state_totals(core=1)[CoreState.TASK_EXECUTION] == pytest.approx(5.0)
+
+    def test_disabled_recorder_ignores_events(self):
+        trace = TraceRecorder(enabled=False)
+        trace.record(0, CoreState.TASK_EXECUTION, 0.0, 1.0)
+        trace.sample_ready(0.0, 3)
+        assert trace.intervals == []
+        assert trace.ready_samples == []
+
+    def test_zero_length_intervals_dropped(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.IDLE, 1.0, 1.0)
+        assert trace.intervals == []
+
+    def test_span(self):
+        trace = TraceRecorder()
+        assert trace.span() == (0.0, 0.0)
+        trace.record(0, CoreState.TASK_EXECUTION, 1.0, 4.0)
+        trace.record(2, CoreState.TASK_EXECUTION, 0.5, 2.0)
+        assert trace.span() == (0.5, 4.0)
+
+    def test_cores(self):
+        trace = TraceRecorder()
+        trace.record(3, CoreState.IDLE, 0.0, 1.0)
+        trace.record(1, CoreState.IDLE, 0.0, 1.0)
+        assert trace.cores() == [1, 3]
+
+    def test_mean_state_duration(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.ATM_MEMOIZATION, 0.0, 1.0)
+        trace.record(0, CoreState.ATM_MEMOIZATION, 1.0, 4.0)
+        assert trace.mean_state_duration(CoreState.ATM_MEMOIZATION) == pytest.approx(2.0)
+        assert trace.mean_state_duration(CoreState.ATM_HASH) == 0.0
+
+    def test_ready_series_sorted(self):
+        trace = TraceRecorder()
+        trace.sample_ready(2.0, 5)
+        trace.sample_ready(1.0, 3)
+        assert trace.ready_depth_series() == [(1.0, 3), (2.0, 5)]
+        assert trace.max_ready_depth() == 5
+
+    def test_clear(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.IDLE, 0.0, 1.0)
+        trace.sample_ready(0.0, 1)
+        trace.clear()
+        assert trace.intervals == [] and trace.ready_samples == []
+
+    def test_interval_duration(self):
+        interval = StateInterval(0, CoreState.TASK_EXECUTION, 1.0, 3.5)
+        assert interval.duration == pytest.approx(2.5)
+
+
+class TestAsciiRendering:
+    def test_empty_trace(self):
+        assert render_ascii_trace(TraceRecorder()) == "(empty trace)"
+
+    def test_renders_one_line_per_core_plus_legend(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.TASK_EXECUTION, 0.0, 10.0)
+        trace.record(1, CoreState.ATM_MEMOIZATION, 0.0, 10.0)
+        text = render_ascii_trace(trace, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "T" in lines[0]
+        assert "M" in lines[1]
+        assert lines[2].startswith("legend")
+
+    def test_dominant_state_wins_bucket(self):
+        trace = TraceRecorder()
+        trace.record(0, CoreState.TASK_EXECUTION, 0.0, 9.0)
+        trace.record(0, CoreState.ATM_HASH, 9.0, 10.0)
+        text = render_ascii_trace(trace, width=10).splitlines()[0]
+        assert text.count("T") >= 8
