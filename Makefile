@@ -1,0 +1,25 @@
+PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-check bench-quick figures
+
+# Tier-1 verification: the full unit + integration suite.
+test:
+	$(PYTHON) -m pytest tests -x -q
+
+# Perf trajectory: run the microbenchmark + end-to-end suite and write
+# BENCH_<n>.json at the repo root (see PERFORMANCE.md for the schema).
+bench:
+	$(PYTHON) scripts/bench.py
+
+# One-command gate for PRs: tier-1 tests + keygen-equivalence suite + perf
+# thresholds; non-zero exit on any regression.
+bench-check:
+	$(PYTHON) scripts/bench.py --check
+
+bench-quick:
+	$(PYTHON) scripts/bench.py --quick
+
+# Figure/table regeneration harness (pytest-benchmark based).
+figures:
+	$(PYTHON) -m pytest benchmarks -q

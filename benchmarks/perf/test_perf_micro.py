@@ -1,0 +1,61 @@
+"""Perf harness smoke: microbenchmarks run, report assembles, gates hold.
+
+Wall-clock speedup assertions here are deliberately looser than the
+``scripts/bench.py`` thresholds (3x) so CI jitter cannot fail the suite; the
+deterministic metrics (shuffle memory reduction, report structure, output
+checksums present) are asserted tightly.  Full-strength numbers live in
+``BENCH_<n>.json`` produced by ``make bench``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.micro import (
+    bench_dependences,
+    bench_keygen,
+    bench_simulator_drain,
+    bench_tht_probe,
+)
+from repro.perf.report import THRESHOLDS, build_report, check_report
+
+
+class TestMicrobenchmarks:
+    def test_keygen_speedup_and_memory(self):
+        # Full input scale, few rounds: small inputs are Python-overhead
+        # bound and would make the speedup floor unrepresentative.
+        result = bench_keygen(scale=1.0, rounds=8)
+        assert {c["name"] for c in result["cases"]} >= {
+            "multi_input_cold_p0.001",
+            "multi_input_iterative_unchanged",
+            "multi_input_one_mutating",
+        }
+        # Deterministic: truncated uint32 prefixes vs full int64 permutations.
+        assert result["shuffle_memory"]["reduction"] >= THRESHOLDS["shuffle_memory_reduction"]
+        # Lenient wall-clock floor (the bench gate enforces 3x).
+        assert result["headline_speedup"] >= 1.5
+
+    def test_tht_probe(self):
+        result = bench_tht_probe(entries=256, rounds=500)
+        assert result["hit_us"] > 0 and result["miss_us"] > 0
+
+    def test_dependences(self):
+        result = bench_dependences(tasks=100)
+        assert result["tasks_per_sec"] > 0
+
+    def test_simulator_drain(self):
+        result = bench_simulator_drain(tasks=60)
+        assert result["events_per_sec"] > 0
+
+
+class TestReport:
+    def test_quick_report_builds_and_passes(self):
+        report = build_report(bench_id=0, quick=True)
+        assert report["schema_version"] == 1
+        assert report["micro"]["keygen"]["cases"]
+        assert len(report["endtoend"]) == 6
+        for run in report["endtoend"]:
+            assert len(run["output_checksum"]) == 16
+        # ATM-off runs must never pay key-cache costs.
+        for run in report["endtoend"]:
+            if run["mode"] == "none":
+                assert run["key_cache_hits"] == 0
+        assert check_report(report) == [], check_report(report)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Perf regression harness CLI.
+
+Runs the microbenchmark suite (keygen, THT probe, dependence analysis,
+simulator drain) plus a tiny-scale end-to-end figure run, and writes the
+machine-readable ``BENCH_<n>.json`` at the repo root so every PR has a perf
+trajectory to regress against.
+
+Usage::
+
+    python scripts/bench.py                 # full suite -> BENCH_1.json
+    python scripts/bench.py --quick         # reduced rounds (CI smoke)
+    python scripts/bench.py --check         # also run tier-1 tests + the
+                                            # keygen-equivalence suite and
+                                            # fail on any regression
+    make bench / make bench-check           # the same, via the Makefile
+
+Exit status is non-zero when a gated perf threshold or (with ``--check``)
+any test fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def run_tests(check_args: list[str]) -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, "-m", "pytest", "-x", "-q", *check_args]
+    print(f"$ {' '.join(command)}", flush=True)
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: BENCH_<id>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--bench-id", type=int, default=1,
+        help="report generation number (default 1)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced rounds / sizes for a fast smoke run",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="run tier-1 tests and the keygen-equivalence suite first; "
+             "fail if they fail or a perf threshold regresses",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        status = run_tests(["tests"])
+        if status != 0:
+            print("bench --check: tier-1 tests FAILED", file=sys.stderr)
+            return status
+        status = run_tests(["tests/atm/test_keygen_equivalence.py", "-q"])
+        if status != 0:
+            print("bench --check: keygen equivalence suite FAILED", file=sys.stderr)
+            return status
+
+    from repro.perf.report import build_report, check_report, write_report
+
+    report = build_report(bench_id=args.bench_id, quick=args.quick)
+    out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{args.bench_id}.json"
+    write_report(report, out)
+
+    keygen = report["micro"]["keygen"]
+    print(f"wrote {out}")
+    print(f"  keygen headline speedup : {keygen['headline_speedup']}x "
+          f"(threshold {report['checks']['thresholds']['keygen_speedup_multi_input']}x)")
+    print(f"  shuffle memory reduction: {keygen['shuffle_memory']['reduction']}x "
+          f"(threshold {report['checks']['thresholds']['shuffle_memory_reduction']}x)")
+    for case in keygen["cases"]:
+        print(f"    {case['name']:32} new {case['new_us']:9.2f}us  "
+              f"ref {case['ref_us']:9.2f}us  {case['speedup']:6.2f}x")
+    for run in report["endtoend"]:
+        print(f"  e2e {run['benchmark']:13} {run['mode']:8} "
+              f"wall {run['wall_s']:7.3f}s  reuse {run['reuse_percent']:6.2f}%  "
+              f"checksum {run['output_checksum']}")
+
+    failures = check_report(report)
+    if failures:
+        for failure in failures:
+            print(f"bench: FAIL {failure}", file=sys.stderr)
+        return 1
+    print("bench: all perf thresholds met")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -49,12 +49,12 @@ class ATMEngine:
     ) -> None:
         self.config = config or ATMConfig()
         self.policy = policy or StaticATMPolicy(self.config)
+        self.stats = ATMStats()
         # Policies carry their own (possibly overridden) config copy; the THT
         # geometry always comes from the engine-level config.
-        self.keygen = HashKeyGenerator(self.policy.config)
+        self.keygen = HashKeyGenerator(self.policy.config, stats=self.stats)
         self.tht = TaskHistoryTable(self.config)
         self.ikt = InFlightKeyTable(max_entries=max(num_threads, 1)) if self.config.use_ikt else None
-        self.stats = ATMStats()
         self._petitions: dict[int, list[Task]] = {}
         self._petition_lock = threading.Lock()
         self._deferred_callback: Optional[Callable[[Task, int], None]] = None
@@ -226,11 +226,13 @@ class ATMEngine:
         tht_bytes = self.tht.memory_bytes()
         ikt_bytes = self.ikt.memory_bytes() if self.ikt is not None else 0
         shuffle_bytes = self.keygen.shuffle_memory_bytes()
+        key_cache_bytes = self.keygen.cache_info()["cache_bytes"]
         return {
             "tht": tht_bytes,
             "ikt": ikt_bytes,
             "shuffles": shuffle_bytes,
-            "total": tht_bytes + ikt_bytes + shuffle_bytes,
+            "key_cache": key_cache_bytes,
+            "total": tht_bytes + ikt_bytes + shuffle_bytes + key_cache_bytes,
         }
 
     def memory_overhead_percent(self, application_bytes: int) -> float:

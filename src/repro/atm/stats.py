@@ -46,6 +46,11 @@ class ATMStats:
     hashed_bytes: int = 0
     copied_bytes: int = 0
     stored_bytes: int = 0
+    key_cache_hits: int = 0
+    key_cache_misses: int = 0
+    digest_cache_hits: int = 0
+    digest_cache_misses: int = 0
+    shuffle_evictions: int = 0
     reuse_events: list[ReuseEvent] = field(default_factory=list)
     training_errors: list[float] = field(default_factory=list)
     per_type: dict[str, dict[str, int]] = field(default_factory=dict)
@@ -114,6 +119,27 @@ class ATMStats:
             self.commits += 1
             self.stored_bytes += stored
 
+    def record_key_cache(self, hit: bool) -> None:
+        """Whole-key cache outcome of one key computation."""
+        with self._lock:
+            if hit:
+                self.key_cache_hits += 1
+            else:
+                self.key_cache_misses += 1
+
+    def record_digest_cache(self, hit: bool) -> None:
+        """Per-region sample/digest cache outcome inside one key computation."""
+        with self._lock:
+            if hit:
+                self.digest_cache_hits += 1
+            else:
+                self.digest_cache_misses += 1
+
+    def record_shuffle_eviction(self) -> None:
+        """One shuffle record dropped by the keygen LRU bound."""
+        with self._lock:
+            self.shuffle_evictions += 1
+
     # -- derived quantities ----------------------------------------------------
     @property
     def memoized_tasks(self) -> int:
@@ -169,6 +195,11 @@ class ATMStats:
                 "hashed_bytes": self.hashed_bytes,
                 "copied_bytes": self.copied_bytes,
                 "stored_bytes": self.stored_bytes,
+                "key_cache_hits": self.key_cache_hits,
+                "key_cache_misses": self.key_cache_misses,
+                "digest_cache_hits": self.digest_cache_hits,
+                "digest_cache_misses": self.digest_cache_misses,
+                "shuffle_evictions": self.shuffle_evictions,
                 "memoized_tasks": self.tht_hits + self.ikt_hits,
                 "per_type": {k: dict(v) for k, v in self.per_type.items()},
                 "reuse_events": [

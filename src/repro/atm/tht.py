@@ -9,7 +9,14 @@ full.  Each bucket has its own lock so concurrent workers rarely contend
 
 Keys computed with different sampling fractions ``p`` or for different task
 types are never considered equal — Dynamic ATM stores ``p`` alongside the key
-exactly for this reason.
+exactly for this reason.  ``p`` is compared through its canonical quantized
+representation (:func:`repro.common.hashing.canonical_p`), stored at insert
+time, so an entry still matches when the policy later recomputes the same
+fraction through a different floating-point path.
+
+Hit/miss/insertion/eviction statistics are kept per bucket, under the bucket
+lock that the operation already holds, and aggregated on read — the seed's
+single global counter lock serialised every probe of every worker.
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.config import ATMConfig
-from repro.common.hashing import HashKey
+from repro.common.hashing import HashKey, canonical_p
 
 __all__ = ["THTEntry", "TaskHistoryTable"]
 
@@ -37,21 +44,38 @@ class THTEntry:
     outputs: list[np.ndarray]
     producer_index: int
     stored_bytes: int = field(init=False)
+    p_canonical: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.stored_bytes = int(sum(o.nbytes for o in self.outputs))
+        self.p_canonical = canonical_p(self.p)
 
     def matches(self, key: HashKey, task_type_name: str) -> bool:
         return (
             self.key_value == key.value
             and self.task_type_name == task_type_name
-            and self.p == key.p
+            and self.p_canonical == canonical_p(key.p)
         )
 
     @property
     def memory_bytes(self) -> int:
         """Entry footprint: stored outputs + 8-byte key + 8-byte p + metadata."""
         return self.stored_bytes + 8 + 8 + 8
+
+
+class _BucketCounters:
+    """Per-bucket statistics, mutated under the bucket's own lock."""
+
+    __slots__ = ("hits", "misses", "insertions", "evictions")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
 
 
 class TaskHistoryTable:
@@ -63,11 +87,7 @@ class TaskHistoryTable:
         self.capacity = config.tht_bucket_capacity
         self._buckets: list[deque[THTEntry]] = [deque() for _ in range(self.n_buckets)]
         self._locks = [threading.Lock() for _ in range(self.n_buckets)]
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self._counter_lock = threading.Lock()
+        self._counters = [_BucketCounters() for _ in range(self.n_buckets)]
 
     # -- bucket selection --------------------------------------------------------
     def bucket_index(self, key: HashKey) -> int:
@@ -80,11 +100,9 @@ class TaskHistoryTable:
         with self._locks[index]:
             for entry in self._buckets[index]:
                 if entry.matches(key, task_type_name):
-                    with self._counter_lock:
-                        self.hits += 1
+                    self._counters[index].hits += 1
                     return entry
-        with self._counter_lock:
-            self.misses += 1
+            self._counters[index].misses += 1
         return None
 
     def insert(
@@ -111,20 +129,35 @@ class TaskHistoryTable:
         index = self.bucket_index(key)
         with self._locks[index]:
             bucket = self._buckets[index]
+            counters = self._counters[index]
             for position, existing in enumerate(bucket):
                 if existing.matches(key, task_type_name):
                     bucket[position] = entry
-                    with self._counter_lock:
-                        self.insertions += 1
+                    counters.insertions += 1
                     return entry
             if len(bucket) >= self.capacity:
                 bucket.popleft()
-                with self._counter_lock:
-                    self.evictions += 1
+                counters.evictions += 1
             bucket.append(entry)
-        with self._counter_lock:
-            self.insertions += 1
+            counters.insertions += 1
         return entry
+
+    # -- statistics -------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self._counters)
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self._counters)
+
+    @property
+    def insertions(self) -> int:
+        return sum(c.insertions for c in self._counters)
+
+    @property
+    def evictions(self) -> int:
+        return sum(c.evictions for c in self._counters)
 
     # -- introspection ----------------------------------------------------------------
     def __len__(self) -> int:
@@ -132,8 +165,9 @@ class TaskHistoryTable:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        hits = self.hits
+        total = hits + self.misses
+        return hits / total if total else 0.0
 
     def memory_bytes(self) -> int:
         """Total memory held by the table (Table III accounting)."""
@@ -153,5 +187,4 @@ class TaskHistoryTable:
         for index in range(self.n_buckets):
             with self._locks[index]:
                 self._buckets[index].clear()
-        with self._counter_lock:
-            self.hits = self.misses = self.insertions = self.evictions = 0
+                self._counters[index].reset()

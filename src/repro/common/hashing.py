@@ -40,6 +40,10 @@ __all__ = [
     "hash_bytes",
     "hash_sampled_bytes",
     "splitmix64",
+    "combine_digests",
+    "canonical_p",
+    "padded_sample_buffer",
+    "hash_padded_buffer",
     "HASH_FUNCTIONS",
 ]
 
@@ -227,6 +231,22 @@ def splitmix64(x: np.ndarray | int) -> np.ndarray | int:
     return z
 
 
+def _hash_words(words: np.ndarray, n: int, seed: int) -> int:
+    """Mix little-endian 64-bit ``words`` covering ``n`` payload bytes.
+
+    Shared core of :func:`hash_bytes` and :func:`hash_padded_buffer`; the
+    trailing word must be zero-padded beyond byte ``n``.
+    """
+    with np.errstate(over="ignore"):
+        positions = np.arange(1, words.size + 1, dtype=np.uint64)
+        salted = words ^ (positions * _SPLITMIX_C1)
+        mixed = splitmix64(salted)
+        acc = np.bitwise_xor.reduce(mixed)
+        acc ^= np.uint64(n) * _SPLITMIX_C3
+        acc ^= np.uint64(seed & _MASK64)
+    return int(splitmix64(acc))
+
+
 def hash_bytes(data: BytesLike, seed: int = 0) -> int:
     """Vectorised 64-bit hash of a byte buffer.
 
@@ -246,15 +266,66 @@ def hash_bytes(data: BytesLike, seed: int = 0) -> int:
         padded = np.zeros(n + pad, dtype=np.uint8)
         padded[:n] = buf
         buf = padded
-    words = buf.view(np.uint64)
+    return _hash_words(buf.view(np.uint64), n, seed)
+
+
+def padded_sample_buffer(count: int) -> np.ndarray:
+    """A zeroed ``uint8`` buffer of ``count`` bytes padded to a word multiple.
+
+    Gather sampled bytes into ``buf[:count]`` and hash with
+    :func:`hash_padded_buffer`; the result is bit-identical to
+    ``hash_bytes(buf[:count])`` without the extra pad-and-copy pass.
+    """
+    return np.zeros(count + ((-count) % 8), dtype=np.uint8)
+
+
+def hash_padded_buffer(buf: np.ndarray, count: int, seed: int = 0,
+                       function: str = "numpy") -> int:
+    """Hash ``buf[:count]`` where ``buf`` came from :func:`padded_sample_buffer`.
+
+    For the vectorised ``"numpy"`` hash the already-padded buffer is mixed in
+    place (one pass, no copy); other hash functions fall back to slicing.
+    """
+    if count == 0:
+        return HASH_FUNCTIONS[function](np.empty(0, dtype=np.uint8), seed)
+    if function == "numpy":
+        return _hash_words(buf.view(np.uint64), count, seed)
+    return HASH_FUNCTIONS[function](buf[:count], seed)
+
+
+def combine_digests(digests: "list[int] | tuple[int, ...]", seed: int = 0) -> int:
+    """Order- and content-sensitive splitmix64 combination of 64-bit digests.
+
+    Used by the ``"digest"`` key pipeline: each task input contributes the
+    hash of its own sampled bytes and the composite chains them with their
+    ordinal position, so swapping two inputs or changing any byte of any
+    input changes the composite key.
+    """
     with np.errstate(over="ignore"):
-        positions = np.arange(1, words.size + 1, dtype=np.uint64)
-        salted = words ^ (positions * _SPLITMIX_C1)
-        mixed = splitmix64(salted)
-        acc = np.bitwise_xor.reduce(mixed)
-        acc ^= np.uint64(n) * _SPLITMIX_C3
-        acc ^= np.uint64(seed & _MASK64)
-    return int(splitmix64(acc))
+        acc = splitmix64(np.uint64(seed & _MASK64) + _SPLITMIX_C2)
+        for ordinal, digest in enumerate(digests):
+            lane = (np.uint64(digest & _MASK64) + np.uint64(ordinal + 1) * _SPLITMIX_C1)
+            acc = splitmix64(np.uint64(acc) ^ lane)
+    return int(acc)
+
+
+#: Quantization grid for canonical sampling fractions: 2^-20 steps cover the
+#: whole Dynamic-ATM ladder (min p = 2^-15) with headroom to spare.
+_P_QUANT_BITS = 20
+
+
+def canonical_p(p: float) -> int:
+    """Canonical quantized representation of a sampling fraction.
+
+    THT entries must never fail to match because ``p`` was recomputed through
+    a different floating-point path (e.g. the Dynamic-ATM trainer doubling
+    ``p0`` versus the policy reading a stored ladder value).  Quantizing to a
+    2^-20 grid makes equality robust to sub-grid float jitter while keeping
+    every ladder step (2^-15 ... 1.0) distinct.
+    """
+    if p >= 1.0:
+        return 1 << _P_QUANT_BITS
+    return max(1, int(round(p * (1 << _P_QUANT_BITS))))
 
 
 def hash_sampled_bytes(

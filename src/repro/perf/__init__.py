@@ -1,0 +1,27 @@
+"""Performance harness: microbenchmarks, end-to-end runs and BENCH reports.
+
+Every PR runs ``scripts/bench.py`` (or ``make bench``) to regenerate the
+machine-readable ``BENCH_<n>.json`` at the repo root, giving the project a
+perf trajectory to regress against.  See PERFORMANCE.md for the schema and
+the hot-path inventory.
+"""
+
+from repro.perf.micro import (
+    bench_dependences,
+    bench_keygen,
+    bench_simulator_drain,
+    bench_tht_probe,
+)
+from repro.perf.endtoend import bench_end_to_end
+from repro.perf.report import build_report, check_report, write_report
+
+__all__ = [
+    "bench_keygen",
+    "bench_tht_probe",
+    "bench_dependences",
+    "bench_simulator_drain",
+    "bench_end_to_end",
+    "build_report",
+    "check_report",
+    "write_report",
+]

@@ -1,0 +1,65 @@
+"""End-to-end tiny-scale perf runs.
+
+Replays a reduced Figure-3-style experiment (benchmark x ATM mode on the
+simulated 8-core machine) and records, per run: wall-clock seconds, simulated
+elapsed time, completed tasks per wall second, reuse percentage, ATM memory
+footprint, key-cache effectiveness and a determinism checksum of the program
+output.  The checksum anchors "unchanged figure outputs" across PRs: it must
+stay constant for a given (benchmark, scale, mode, seed) unless a PR
+deliberately changes program semantics.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.common.hashing import hash_bytes
+from repro.evaluation.runner import ExperimentSpec, clear_reference_cache, run_benchmark
+
+__all__ = ["bench_end_to_end"]
+
+#: The default tiny end-to-end matrix: one redundancy-heavy iterative app
+#: (kmeans exercises the digest cache) and one embarrassingly parallel app.
+DEFAULT_MATRIX = (
+    ("blackscholes", "none"),
+    ("blackscholes", "static"),
+    ("blackscholes", "dynamic"),
+    ("kmeans", "none"),
+    ("kmeans", "static"),
+    ("kmeans", "dynamic"),
+)
+
+
+def bench_end_to_end(matrix=DEFAULT_MATRIX, scale: str = "tiny", cores: int = 8) -> list[dict]:
+    clear_reference_cache()
+    results = []
+    for benchmark, mode in matrix:
+        spec = ExperimentSpec(
+            benchmark=benchmark, scale=scale, mode=mode, cores=cores,
+            executor="simulated",
+        )
+        t0 = time.perf_counter()
+        result = run_benchmark(spec)
+        wall = time.perf_counter() - t0
+        output = np.ascontiguousarray(np.asarray(result.output, dtype=np.float64))
+        stats = result.atm_stats or {}
+        results.append({
+            "benchmark": benchmark,
+            "mode": mode,
+            "scale": scale,
+            "cores": cores,
+            "wall_s": round(wall, 4),
+            "simulated_elapsed_us": round(result.elapsed, 2),
+            "tasks_completed": result.tasks_completed,
+            "tasks_per_wall_sec": round(result.tasks_completed / wall, 1),
+            "reuse_percent": round(result.reuse_percent, 3),
+            "relative_error": float(result.relative_error),
+            "memory_overhead_percent": round(result.memory_overhead_percent, 4),
+            "key_cache_hits": stats.get("key_cache_hits", 0),
+            "key_cache_misses": stats.get("key_cache_misses", 0),
+            "digest_cache_hits": stats.get("digest_cache_hits", 0),
+            "output_checksum": f"{hash_bytes(output):016x}",
+        })
+    return results

@@ -1,0 +1,113 @@
+"""BENCH report assembly, serialisation and threshold checks.
+
+``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
+perf trajectory.  Schema (``schema_version`` 1):
+
+.. code-block:: text
+
+    {
+      "schema_version": 1,
+      "bench_id": <int>,              # PR generation number
+      "created_unix": <float>,
+      "host": {"python": ..., "numpy": ..., "platform": ...},
+      "micro": {
+        "keygen": {"cases": [...], "shuffle_memory": {...},
+                    "headline_speedup": <float>},
+        "tht_probe": {...},
+        "dependences": {...},
+        "simulator": {...}
+      },
+      "endtoend": [ {per-run record, incl. output_checksum}, ... ],
+      "checks": {"keygen_speedup_multi_input": <float>,
+                  "shuffle_memory_reduction": <float>,
+                  "thresholds": {...}, "passed": <bool>}
+    }
+
+``check_report`` enforces the acceptance thresholds (keygen >= 3x on
+multi-input tasks, shuffle memory >= 5x smaller than the seed); wall-clock
+metrics are recorded for trend analysis but deliberately not gated, because
+CI machines vary.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["build_report", "check_report", "write_report", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+#: Acceptance thresholds for the gated metrics.
+THRESHOLDS = {
+    "keygen_speedup_multi_input": 3.0,
+    "shuffle_memory_reduction": 5.0,
+}
+
+
+def build_report(bench_id: int = 1, quick: bool = False) -> dict:
+    """Run the whole suite and assemble the report dict."""
+    from repro.perf.endtoend import bench_end_to_end
+    from repro.perf.micro import (
+        bench_dependences,
+        bench_keygen,
+        bench_simulator_drain,
+        bench_tht_probe,
+    )
+
+    # Quick mode trims rounds, never input scale: small inputs make the cold
+    # keygen cases Python-overhead-bound and the speedup gate unrepresentative.
+    rounds = 10 if quick else 40
+    keygen = bench_keygen(scale=1.0, rounds=rounds)
+    micro = {
+        "keygen": keygen,
+        "tht_probe": bench_tht_probe(rounds=2000 if quick else 20000),
+        "dependences": bench_dependences(tasks=200 if quick else 600),
+        "simulator": bench_simulator_drain(tasks=150 if quick else 400),
+    }
+    endtoend = bench_end_to_end()
+    checks = {
+        "keygen_speedup_multi_input": keygen["headline_speedup"],
+        "shuffle_memory_reduction": keygen["shuffle_memory"]["reduction"],
+        "thresholds": dict(THRESHOLDS),
+    }
+    checks["passed"] = all(
+        checks[name] >= threshold for name, threshold in THRESHOLDS.items()
+    )
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench_id": bench_id,
+        "created_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "micro": micro,
+        "endtoend": endtoend,
+        "checks": checks,
+    }
+
+
+def check_report(report: dict) -> list[str]:
+    """Return a list of human-readable threshold violations (empty = pass)."""
+    failures = []
+    checks = report.get("checks", {})
+    for name, threshold in THRESHOLDS.items():
+        value = checks.get(name)
+        if value is None:
+            failures.append(f"missing check metric {name!r}")
+        elif value < threshold:
+            failures.append(f"{name} = {value} below threshold {threshold}")
+    return failures
+
+
+def write_report(report: dict, path: "str | Path") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path

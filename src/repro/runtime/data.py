@@ -19,6 +19,8 @@ the same matrix block conflict while disjoint blocks do not.
 from __future__ import annotations
 
 import enum
+import threading
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
@@ -35,7 +37,89 @@ __all__ = [
     "Out",
     "InOut",
     "as_region",
+    "region_versions",
 ]
+
+
+class RegionVersionRegistry:
+    """Monotonic write-versions for base buffers.
+
+    Every owning base buffer gets a version number drawn from one global
+    monotonic clock; the runtime bumps it whenever a task's write accesses
+    commit (:meth:`TaskDependenceGraph.complete_task`) or a region is
+    bulk-overwritten through :meth:`DataRegion.copy_from`.  The ATM key
+    generator keys its digest caches on ``(region identity, version)``, so a
+    region whose version is unchanged since the last key computation is known
+    to hold identical bytes and its cached digest can be reused.
+
+    ``id(base)`` can be recycled after garbage collection; the registry keeps
+    a weak reference to the registered buffer and hands out a *fresh* clock
+    value whenever the identity no longer refers to the same live array, so a
+    recycled id can never alias a stale version.  A weakref callback removes
+    the entry when its buffer is collected, so the registry never grows past
+    the set of live base buffers (the lock is reentrant because collection —
+    and therefore the callback — can trigger inside a locked region).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._entries: dict[int, tuple[weakref.ref, int]] = {}
+        self._clock = 0
+
+    def _fresh(self, base: np.ndarray) -> int:
+        self._clock += 1
+        version = self._clock
+        key = id(base)
+
+        def _on_collect(ref: weakref.ref, *, _registry=self, _key=key) -> None:
+            with _registry._lock:
+                entry = _registry._entries.get(_key)
+                # Only drop our own entry: the id may already belong to a
+                # newer buffer (or a newer ref of the same buffer after a
+                # bump), whose entry must survive.
+                if entry is not None and entry[0] is ref:
+                    del _registry._entries[_key]
+
+        try:
+            ref = weakref.ref(base, _on_collect)
+        except TypeError:  # pragma: no cover - ndarray subclasses w/o weakref
+            ref = lambda: base  # noqa: E731 - permanent strong identity
+        self._entries[key] = (ref, version)
+        return version
+
+    def version_of(self, base: np.ndarray) -> int:
+        """Current version of ``base``, registering it on first sight."""
+        key = id(base)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0]() is base:
+                return entry[1]
+            return self._fresh(base)
+
+    def bump(self, base: np.ndarray) -> int:
+        """Advance the version of ``base`` (a write has committed)."""
+        with self._lock:
+            return self._fresh(base)
+
+    def prune(self) -> int:
+        """Drop entries whose buffers were garbage collected.
+
+        Collection normally removes entries via the weakref callback; this
+        is a safety net for exotic cases where the callback never ran.
+        """
+        with self._lock:
+            dead = [key for key, (ref, _) in self._entries.items() if ref() is None]
+            for key in dead:
+                del self._entries[key]
+            return len(dead)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: Process-wide registry used by all regions (runs are single-process).
+region_versions = RegionVersionRegistry()
 
 
 class AccessMode(enum.Enum):
@@ -75,7 +159,9 @@ class DataRegion:
         Optional human-readable name used in traces and error messages.
     """
 
-    __slots__ = ("array", "name", "descriptor", "_base_id", "_byte_start", "_byte_end")
+    __slots__ = (
+        "array", "name", "descriptor", "_base", "_base_id", "_byte_start", "_byte_end"
+    )
 
     def __init__(self, array: np.ndarray, name: Optional[str] = None) -> None:
         if not isinstance(array, np.ndarray):
@@ -86,6 +172,7 @@ class DataRegion:
         self.name = name or f"region@{id(array):#x}"
         self.descriptor: TypeDescriptor = describe_array(array)
         base = _base_buffer(array)
+        self._base = base
         self._base_id = id(base)
         if array.flags.c_contiguous or array.ndim <= 1:
             base_addr = base.__array_interface__["data"][0]
@@ -127,6 +214,27 @@ class DataRegion:
             return False
         return self._byte_start < other._byte_end and other._byte_start < self._byte_end
 
+    # -- write versioning -----------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic write-version of the owning base buffer.
+
+        The version changes whenever a write access over any region of the
+        same base buffer commits.  Versioning is deliberately coarse (per
+        base buffer, not per byte interval): a bump for a sibling region only
+        costs a digest-cache miss, never a stale key.
+        """
+        return region_versions.version_of(self._base)
+
+    def bump_version(self) -> int:
+        """Record that a write to this region has committed."""
+        return region_versions.bump(self._base)
+
+    @property
+    def version_token(self) -> tuple[int, int, int, int]:
+        """Cache key for this region's current content: identity + version."""
+        return (self._base_id, self._byte_start, self._byte_end, self.version)
+
     # -- data access ---------------------------------------------------------
     @property
     def nbytes(self) -> int:
@@ -157,6 +265,7 @@ class DataRegion:
         if values.shape != self.array.shape:
             values = values.reshape(self.array.shape)
         np.copyto(self.array, values, casting="unsafe")
+        self.bump_version()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

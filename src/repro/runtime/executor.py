@@ -110,6 +110,24 @@ class BaseExecutor:
             return EXECUTE_DECISION
         return self.engine.task_ready(task, worker_id)
 
+    def _finalize_result(self) -> None:
+        """Stash the engine's memory/cache telemetry on the run result.
+
+        Called at the end of every drain so perf harnesses (and users) can
+        read ATM memory footprint and key-cache effectiveness without
+        reaching into engine internals.
+        """
+        engine = self.engine
+        if engine is None:
+            return
+        memory = getattr(engine, "memory_bytes", None)
+        if callable(memory):
+            self._result.extra["atm_memory_bytes"] = memory()
+        keygen = getattr(engine, "keygen", None)
+        cache_info = getattr(keygen, "cache_info", None)
+        if callable(cache_info):
+            self._result.extra["keygen_cache"] = cache_info()
+
     def _account(self, decision: ATMDecision) -> None:
         result = self._result
         result.tasks_completed += 1
@@ -148,6 +166,7 @@ class SerialExecutor(BaseExecutor):
             self._process(task, graph)
         elapsed = time.perf_counter() - t0
         self._result.elapsed += elapsed
+        self._finalize_result()
         return self._result
 
     def _process(self, task: Task, graph: TaskDependenceGraph) -> None:
@@ -244,6 +263,7 @@ class ThreadedExecutor(BaseExecutor):
         if not finished:
             raise RuntimeStateError("threaded drain timed out")
         self._result.elapsed += elapsed
+        self._finalize_result()
         return self._result
 
     def _process(self, task: Task, graph: TaskDependenceGraph, worker_id: int) -> None:

@@ -72,6 +72,14 @@ class TaskDependenceGraph:
                 raise RuntimeStateError(f"unknown task {task.label}")
             if task.state.is_terminal:
                 raise RuntimeStateError(f"task {task.label} completed twice")
+            # Commit the write accesses: bump every output region's version
+            # *before* releasing successors, so any consumer key computed
+            # after this point sees the post-write version.  (Memoized tasks
+            # wrote through copy_from, executed tasks through the task body;
+            # either way the regions' bytes may have changed.)
+            for access in task.accesses:
+                if access.writes:
+                    access.region.bump_version()
             task.state = state
             self._finished_count += 1
             released: list[Task] = []

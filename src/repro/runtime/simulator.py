@@ -85,6 +85,14 @@ class SimulatedExecutor(BaseExecutor):
         # memory-bandwidth-bound operations that contend with each other
         # (paper Figure 7: hash/copy states slow down as cores increase).
         self._active_memory_ops = 0
+        # Running count of busy simulated cores, maintained by drain()'s
+        # free_core/dispatch pair (no per-event scans of a flag list).
+        self._busy_cores = 0
+
+    @property
+    def busy_core_count(self) -> int:
+        """Currently busy simulated cores (running counter, O(1))."""
+        return self._busy_cores
 
     # The simulator manages availability itself (creation throttling), so the
     # graph's ready notification only records the release.
@@ -139,8 +147,14 @@ class SimulatedExecutor(BaseExecutor):
             )
 
         num_cores = self.config.num_threads
-        core_free_at = [start_clock] * num_cores
-        core_busy = [False] * num_cores
+        # Idle cores live in a min-heap of core ids; a core is either busy or
+        # in the heap, never both.  Popping the heap yields the lowest idle
+        # core id, exactly the core the seed's per-event list rebuild picked,
+        # so schedules (and therefore every figure) are bit-identical — minus
+        # the O(cores) scan per dispatch attempt.
+        idle_heap = list(range(num_cores))
+        heapq.heapify(idle_heap)
+        self._busy_cores = 0
         finish_time_of: dict[int, float] = {}
         waiters: dict[int, list[tuple[Task, ATMDecision]]] = {}
         target_completions = len(pending)
@@ -151,19 +165,19 @@ class SimulatedExecutor(BaseExecutor):
             # graph completion is scheduled by the simulator itself.
             self.engine.set_deferred_completion_callback(None)
 
-        def busy_core_count() -> int:
-            return sum(core_busy)
+        def free_core(core: int) -> None:
+            heapq.heappush(idle_heap, core)
+            self._busy_cores -= 1
 
         def dispatch(now: float) -> None:
-            while True:
-                idle_cores = [c for c in range(num_cores) if not core_busy[c] and core_free_at[c] <= now]
-                if not idle_cores:
-                    return
-                task = self.scheduler.next_task(idle_cores[0])
+            while idle_heap:
+                core = heapq.heappop(idle_heap)
+                task = self.scheduler.next_task(core)
                 if task is None:
+                    heapq.heappush(idle_heap, core)
                     return
-                core = idle_cores[0]
-                self._start_task(task, core, now, core_busy, core_free_at, finish_time_of, waiters, push_event)
+                self._busy_cores += 1
+                self._start_task(task, core, now, finish_time_of, waiters, push_event)
 
         while events:
             now, kind, _, _, payload = heapq.heappop(events)
@@ -185,8 +199,7 @@ class SimulatedExecutor(BaseExecutor):
                     del commit
                 if decision.action == ATMAction.SKIP:
                     self._active_memory_ops = max(0, self._active_memory_ops - 1)
-                core_busy[core] = False
-                core_free_at[core] = now
+                free_core(core)
                 final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
                 graph.complete_task(task, final_state)
                 completions += 1
@@ -208,8 +221,7 @@ class SimulatedExecutor(BaseExecutor):
                 dispatch(now)
             elif kind == _EVT_CORE_FREE:
                 core = payload  # type: ignore[assignment]
-                core_busy[core] = False
-                core_free_at[core] = now
+                free_core(core)
                 dispatch(now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind}")
@@ -224,6 +236,7 @@ class SimulatedExecutor(BaseExecutor):
             )
         elapsed = self._clock - start_clock
         self._result.elapsed += elapsed
+        self._finalize_result()
         return self._result
 
     # -- per-task processing ----------------------------------------------------
@@ -232,8 +245,6 @@ class SimulatedExecutor(BaseExecutor):
         task: Task,
         core: int,
         now: float,
-        core_busy: list[bool],
-        core_free_at: list[float],
         finish_time_of: dict[int, float],
         waiters: dict[int, list[tuple[Task, ATMDecision]]],
         push_event,
@@ -262,8 +273,6 @@ class SimulatedExecutor(BaseExecutor):
                 busy_until,
                 task.label,
             )
-            core_busy[core] = True
-            core_free_at[core] = busy_until
             finish_time_of[task.task_id] = busy_until
             push_event(busy_until, _EVT_TASK_FINISH, (task, core, decision, False))
         elif decision.action == ATMAction.DEFER:
@@ -273,8 +282,6 @@ class SimulatedExecutor(BaseExecutor):
             busy_until = now + overhead + hash_cost + lookup_cost
             if hash_cost > 0:
                 self.trace.record(core, CoreState.ATM_HASH, now + overhead, busy_until, task.label)
-            core_busy[core] = True
-            core_free_at[core] = busy_until
             waiters.setdefault(producer.task_id, []).append((task, decision))
             task.state = TaskState.WAITING_INFLIGHT
             push_event(busy_until, _EVT_CORE_FREE, core)
@@ -304,7 +311,5 @@ class SimulatedExecutor(BaseExecutor):
                     busy_until,
                     task.label,
                 )
-            core_busy[core] = True
-            core_free_at[core] = busy_until
             finish_time_of[task.task_id] = busy_until
             push_event(busy_until, _EVT_TASK_FINISH, (task, core, decision, True))

@@ -124,7 +124,9 @@ class TestStaticEngine:
         src, dst = np.arange(8.0), np.zeros(8)
         process(engine, square_task(src, dst))
         parts = engine.memory_bytes()
-        assert parts["total"] == parts["tht"] + parts["ikt"] + parts["shuffles"]
+        assert parts["total"] == (
+            parts["tht"] + parts["ikt"] + parts["shuffles"] + parts["key_cache"]
+        )
         assert parts["tht"] > 0
         assert engine.memory_overhead_percent(int(src.nbytes + dst.nbytes)) > 0.0
 

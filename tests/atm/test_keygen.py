@@ -103,16 +103,47 @@ class TestSampling:
 class TestShuffleCaching:
     def test_shuffle_reused_per_task_type_and_size(self):
         generator = HashKeyGenerator(ATMConfig())
-        data = np.arange(64, dtype=np.float32)
+        data = np.arange(64, dtype=np.float32)   # 256 bytes
         generator.compute(make_task([data]), 0.5)
-        generator.compute(make_task([data]), 0.25)
-        assert generator.shuffle_memory_bytes() == 64 * 4 * 8  # one int64 index per byte
+        first = generator.shuffle_memory_bytes()
+        # Truncated prefix (ceil(256 * 0.5) = 128 slots) in uint32: far below
+        # the seed's full int64 permutation (256 * 8 bytes).
+        assert first >= 128 * 4
+        assert first < 256 * 8
+        generator.compute(make_task([data]), 0.25)  # smaller p reuses the prefix
+        assert generator.shuffle_memory_bytes() == first
+        assert generator.shuffle_record_count() == 1
 
-    def test_new_shuffle_for_new_input_size(self):
+    def test_full_sampling_stores_no_shuffle(self):
+        """p = 1.0 reads every byte in order; no index vector is needed."""
         generator = HashKeyGenerator(ATMConfig())
         generator.compute(make_task([np.zeros(16, dtype=np.float32)]), 1.0)
         generator.compute(make_task([np.zeros(32, dtype=np.float32)]), 1.0)
-        assert generator.shuffle_memory_bytes() == (64 + 128) * 8
+        assert generator.shuffle_memory_bytes() == 0
+        assert generator.shuffle_record_count() == 0
+
+    def test_new_shuffle_for_new_input_size(self):
+        generator = HashKeyGenerator(ATMConfig())
+        generator.compute(make_task([np.zeros(16, dtype=np.float32)]), 0.5)
+        assert generator.shuffle_record_count() == 1
+        generator.compute(make_task([np.zeros(32, dtype=np.float32)]), 0.5)
+        assert generator.shuffle_record_count() == 2
+
+    def test_shuffle_prefix_grows_for_larger_p(self):
+        generator = HashKeyGenerator(ATMConfig())
+        data = np.arange(256, dtype=np.float32)
+        generator.compute(make_task([data]), 0.1)
+        small = generator.shuffle_memory_bytes()
+        generator.compute(make_task([data]), 0.5)
+        assert generator.shuffle_memory_bytes() > small
+        assert generator.counters["shuffle_regrowths"] == 1
+
+    def test_shuffle_lru_bound(self):
+        generator = HashKeyGenerator(ATMConfig(shuffle_cache_entries=2))
+        for n in (16, 32, 64, 128):
+            generator.compute(make_task([np.zeros(n, dtype=np.float32)]), 0.5)
+        assert generator.shuffle_record_count() == 2
+        assert generator.counters["shuffle_evictions"] == 2
 
     def test_deterministic_across_generator_instances(self):
         data = np.arange(1024, dtype=np.float32)

@@ -1,0 +1,233 @@
+"""Equivalence proofs: the zero-copy/cached keygen vs the seed implementation.
+
+The optimised :class:`~repro.atm.keygen.HashKeyGenerator` (default
+``"exact"`` pipeline) must produce **bit-identical** ``HashKey.value`` to the
+preserved seed implementation
+(:class:`~repro.atm.keygen_reference.ReferenceKeyGenerator`) for every arity,
+shuffle flavour and sampling fraction, with the digest caches hot or cold.
+The ``"digest"`` pipeline is additionally proven identical for single-input
+tasks and semantically equivalent (order/content/p-sensitive, deterministic)
+for multi-input tasks.
+
+Also covers digest-cache invalidation: a write to a region must change the
+next key.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.atm.keygen import HashKeyGenerator
+from repro.atm.keygen_reference import ReferenceKeyGenerator
+from repro.common.config import ATMConfig
+from repro.runtime.data import In, Out
+from repro.runtime.task import Task, TaskType
+
+TT = TaskType("equiv-test", memoizable=True)
+
+P_GRID = (0.001, 0.5, 1.0)
+
+
+def make_task(arrays, outputs=()):
+    accesses = [In(a) for a in arrays] + [Out(o) for o in outputs]
+    return Task(task_type=TT, function=lambda: None, accesses=accesses, task_id=0)
+
+
+def array_sets():
+    rng = np.random.default_rng(42)
+    return {
+        "one_float64": [rng.standard_normal(4096)],
+        "one_int32": [rng.integers(-1000, 1000, 2048, dtype=np.int32)],
+        "multi_uniform": [rng.standard_normal(1024) for _ in range(4)],
+        "multi_mixed_dtypes": [
+            rng.standard_normal(513),                                  # odd size
+            rng.integers(0, 255, 1000, dtype=np.uint8),
+            rng.standard_normal(256).astype(np.float32),
+            rng.integers(-7, 7, 77, dtype=np.int16),
+        ],
+        "multi_lopsided": [rng.standard_normal(65536), rng.standard_normal(32)],
+    }
+
+
+class TestExactPipelineBitIdentical:
+    @pytest.mark.parametrize("type_aware", [True, False])
+    @pytest.mark.parametrize("p", P_GRID)
+    @pytest.mark.parametrize("case", sorted(array_sets()))
+    def test_bit_identical_to_seed(self, case, p, type_aware):
+        arrays = array_sets()[case]
+        config = ATMConfig(type_aware=type_aware)
+        new = HashKeyGenerator(config)
+        ref = ReferenceKeyGenerator(config)
+        task = make_task(arrays)
+        for _ in range(3):  # repeat: cold caches, then hot caches
+            key_new = new.compute(task, p)
+            key_ref = ref.compute(task, p)
+            assert key_new.value == key_ref.value
+            assert key_new.sampled_bytes == key_ref.sampled_bytes
+            assert key_new.total_bytes == key_ref.total_bytes
+
+    @pytest.mark.parametrize("p", P_GRID)
+    def test_cache_on_equals_cache_off(self, p):
+        arrays = array_sets()["multi_mixed_dtypes"]
+        cached = HashKeyGenerator(ATMConfig(key_cache=True))
+        uncached = HashKeyGenerator(ATMConfig(key_cache=False))
+        task = make_task(arrays)
+        for _ in range(3):
+            assert cached.compute(task, p).value == uncached.compute(task, p).value
+
+    def test_no_input_task_matches_seed(self):
+        config = ATMConfig()
+        new = HashKeyGenerator(config)
+        ref = ReferenceKeyGenerator(config)
+        task = make_task([], outputs=[np.zeros(8)])
+        assert new.compute(task, 1.0).value == ref.compute(task, 1.0).value
+
+    def test_dense_fallback_boundary(self):
+        """Keys stay identical on both sides of the dense-sample crossover."""
+        arrays = array_sets()["multi_uniform"]
+        config = ATMConfig()
+        new = HashKeyGenerator(config)
+        ref = ReferenceKeyGenerator(config)
+        task = make_task(arrays)
+        total = sum(a.nbytes for a in arrays)
+        for count_fraction in (1 / 32, 1 / 16, 1 / 8, 0.9):
+            p = count_fraction
+            assert new.compute(task, p).value == ref.compute(task, p).value, p
+
+    def test_prefix_growth_preserves_keys(self):
+        """Growing the stored shuffle (larger p) must not change earlier keys."""
+        arrays = array_sets()["one_float64"]
+        config = ATMConfig()
+        new = HashKeyGenerator(config)
+        ref = ReferenceKeyGenerator(config)
+        task = make_task(arrays)
+        small_before = new.compute(task, 0.01).value
+        new.compute(task, 0.4)  # grows the stored prefix
+        assert new.compute(task, 0.01).value == small_before
+        assert small_before == ref.compute(task, 0.01).value
+
+
+class TestDigestPipeline:
+    def config(self, **kw):
+        return ATMConfig(key_pipeline="digest", **kw)
+
+    @pytest.mark.parametrize("p", P_GRID)
+    def test_single_input_identical_to_seed(self, p):
+        arrays = array_sets()["one_float64"]
+        new = HashKeyGenerator(self.config())
+        ref = ReferenceKeyGenerator(ATMConfig())
+        task = make_task(arrays)
+        assert new.compute(task, p).value == ref.compute(task, p).value
+
+    def test_multi_input_deterministic_and_consistent(self):
+        arrays = array_sets()["multi_mixed_dtypes"]
+        g1 = HashKeyGenerator(self.config())
+        g2 = HashKeyGenerator(self.config(key_cache=False))
+        task = make_task(arrays)
+        k1 = g1.compute(task, 0.25)
+        # Identical content in fresh buffers -> identical key.
+        copies = [a.copy() for a in arrays]
+        assert g1.compute(make_task(copies), 0.25).value == k1.value
+        # Cache on/off agree.
+        assert g2.compute(task, 0.25).value == k1.value
+
+    def test_multi_input_order_sensitive(self):
+        rng = np.random.default_rng(3)
+        a, b = rng.standard_normal(512), rng.standard_normal(512)
+        generator = HashKeyGenerator(self.config())
+        assert (
+            generator.compute(make_task([a, b]), 0.5).value
+            != generator.compute(make_task([b, a]), 0.5).value
+        )
+
+    def test_multi_input_content_sensitive(self):
+        rng = np.random.default_rng(4)
+        arrays = [rng.standard_normal(512) for _ in range(3)]
+        generator = HashKeyGenerator(self.config())
+        before = generator.compute(make_task(arrays), 1.0).value
+        mutated = [a.copy() for a in arrays]
+        mutated[1][7] += 1.0
+        assert generator.compute(make_task(mutated), 1.0).value != before
+
+
+class TestLayoutKeyedCaches:
+    """Cache entries must be keyed by the per-input byte layout.
+
+    Two tasks of the same type and same total input bytes may split those
+    bytes differently; a region appearing at the same ordinal in both must
+    not reuse the other layout's cached sample segment.
+    """
+
+    @pytest.mark.parametrize("pipeline", ["exact", "digest"])
+    def test_shared_region_across_layouts(self, pipeline):
+        rng = np.random.default_rng(11)
+        shared = rng.standard_normal(8)          # 64 bytes, ordinal 1 in both
+        b, c = rng.standard_normal(8), rng.standard_normal(16)
+        d, e = rng.standard_normal(16), rng.standard_normal(8)
+        layout_one = [b, shared, c]              # sizes (64, 64, 128)
+        layout_two = [d, shared, e]              # sizes (128, 64, 64)
+        config = ATMConfig(key_pipeline=pipeline)
+        cached = HashKeyGenerator(config)
+        key_one = cached.compute(make_task(layout_one), 0.05)
+        key_two = cached.compute(make_task(layout_two), 0.05)
+        fresh = HashKeyGenerator(config)
+        assert fresh.compute(make_task(layout_two), 0.05).value == key_two.value
+        assert fresh.compute(make_task(layout_one), 0.05).value == key_one.value
+        if pipeline == "exact":
+            ref = ReferenceKeyGenerator(ATMConfig())
+            assert ref.compute(make_task(layout_one), 0.05).value == key_one.value
+            assert ref.compute(make_task(layout_two), 0.05).value == key_two.value
+
+
+class TestDigestCacheInvalidation:
+    def test_write_through_copy_from_changes_next_key(self):
+        rng = np.random.default_rng(5)
+        big = rng.standard_normal(8192)
+        small = rng.standard_normal(64)
+        generator = HashKeyGenerator(ATMConfig())
+        task = make_task([big, small])
+        before = generator.compute(task, 0.05)
+        assert generator.compute(task, 0.05).value == before.value  # cache hit
+        assert generator.counters["key_cache_hits"] >= 1
+        # Commit a write through the sanctioned path: the next key changes.
+        task.accesses[1].region.copy_from(small + 123.0)
+        after = generator.compute(task, 0.05)
+        assert after.value != before.value
+
+    def test_bump_version_invalidates_without_content_change_check(self):
+        """A version bump alone forces recomputation (conservative, safe)."""
+        rng = np.random.default_rng(6)
+        data = rng.standard_normal(4096)
+        generator = HashKeyGenerator(ATMConfig())
+        task = make_task([data])
+        before = generator.compute(task, 0.1)
+        misses_before = generator.counters["key_cache_misses"]
+        task.accesses[0].region.bump_version()
+        after = generator.compute(task, 0.1)
+        # Same bytes -> same key, but recomputed (cache missed on new version).
+        assert after.value == before.value
+        assert generator.counters["key_cache_misses"] == misses_before + 1
+
+    def test_end_to_end_task_write_invalidates(self):
+        """A write committed by the runtime changes the consumer's next key."""
+        from repro.runtime.api import TaskRuntime
+        from repro.runtime.data import InOut
+
+        rng = np.random.default_rng(7)
+        shared = rng.standard_normal(2048)
+        generator = HashKeyGenerator(ATMConfig())
+        probe = make_task([shared])
+        before = generator.compute(probe, 0.25)
+
+        writer_type = TaskType("equiv-writer", memoizable=False)
+
+        def writer(buf):
+            buf += 1.0
+
+        runtime = TaskRuntime()
+        runtime.submit(writer_type, writer, accesses=[InOut(shared)], args=(shared,))
+        runtime.finish()
+
+        after = generator.compute(make_task([shared]), 0.25)
+        assert after.value != before.value

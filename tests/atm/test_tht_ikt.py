@@ -171,3 +171,70 @@ class TestInFlightKeyTable:
         ikt.register(make_key(1), "t", make_task(0))
         ikt.clear()
         assert len(ikt) == 0 and ikt.registrations == 0
+
+
+class TestCanonicalPMatching:
+    """Satellite fix: float-equality on p silently broke Dynamic-ATM matches."""
+
+    def test_p_recomputed_through_different_float_path_matches(self):
+        from repro.atm.tht import THTEntry
+
+        # 15 doublings of 2^-15 vs the literal 1.0-adjacent ladder value:
+        # equal on paper, but a float-equality compare can be defeated by
+        # intermediate rounding (e.g. scaling through percentages).
+        p_stored = 0.1 + 0.2 - 0.2          # 0.10000000000000003
+        p_probe = 0.1                        # 0.1
+        assert p_stored != p_probe           # the seed bug's precondition
+        entry = THTEntry(42, p_stored, "t", make_outputs(), producer_index=0)
+        assert entry.matches(make_key(42, p_probe), "t")
+
+    def test_ladder_values_stay_distinct(self):
+        from repro.atm.tht import THTEntry
+        from repro.common.config import P_LADDER
+
+        entry = THTEntry(42, P_LADDER[0], "t", make_outputs(), producer_index=0)
+        for p in P_LADDER[1:]:
+            assert not entry.matches(make_key(42, p), "t")
+
+    def test_canonical_p_quantization(self):
+        from repro.common.hashing import canonical_p
+
+        assert canonical_p(1.0) == canonical_p(1.0 - 2.0 ** -60)
+        assert canonical_p(0.5) != canonical_p(0.25)
+        assert canonical_p(2.0 ** -15) != canonical_p(2.0 ** -14)
+        assert canonical_p(1e-12) >= 1  # tiny fractions clamp, never zero
+
+
+class TestPerBucketCounters:
+    def test_counters_aggregate_across_buckets(self):
+        config = ATMConfig(tht_bucket_bits=2, tht_bucket_capacity=4)
+        tht = TaskHistoryTable(config)
+        for value in range(8):  # spread over all 4 buckets
+            tht.insert(make_key(value), "t", make_outputs(value), producer_index=value)
+        for value in range(8):
+            assert tht.lookup(make_key(value), "t") is not None
+        tht.lookup(make_key(123456), "t")
+        assert tht.hits == 8
+        assert tht.misses == 1
+        assert tht.insertions == 8
+
+    def test_concurrent_probes_keep_exact_counts(self):
+        import threading
+
+        config = ATMConfig(tht_bucket_bits=4, tht_bucket_capacity=8)
+        tht = TaskHistoryTable(config)
+        for value in range(32):
+            tht.insert(make_key(value), "t", make_outputs(value), producer_index=value)
+
+        def probe():
+            for value in range(32):
+                tht.lookup(make_key(value), "t")       # hit
+                tht.lookup(make_key(1000 + value), "t")  # miss
+
+        threads = [threading.Thread(target=probe) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tht.hits == 8 * 32
+        assert tht.misses == 8 * 32

@@ -138,3 +138,73 @@ class TestTotalBytes:
         accesses = [In(np.zeros(4, dtype=np.float32)), Out(np.zeros(2, dtype=np.float64))]
         assert total_bytes(accesses, AccessMode.IN) == 16
         assert total_bytes(accesses, AccessMode.OUT) == 16
+
+
+class TestRegionVersions:
+    def test_fresh_region_has_stable_version(self):
+        array = np.zeros(16)
+        region = DataRegion(array)
+        assert region.version == region.version
+
+    def test_views_of_same_base_share_version(self):
+        base = np.zeros(64)
+        first, second = DataRegion(base[:32]), DataRegion(base[32:])
+        assert first.version == second.version
+        first.bump_version()
+        assert first.version == second.version
+
+    def test_bump_changes_version_monotonically(self):
+        region = DataRegion(np.zeros(8))
+        before = region.version
+        bumped = region.bump_version()
+        assert bumped > before
+        assert region.version == bumped
+
+    def test_copy_from_bumps_version(self):
+        region = DataRegion(np.zeros(8))
+        before = region.version
+        region.copy_from(np.ones(8))
+        assert region.version > before
+
+    def test_version_token_reflects_identity_and_version(self):
+        base = np.zeros(64)
+        first, second = DataRegion(base[:32]), DataRegion(base[32:])
+        assert first.version_token != second.version_token  # different intervals
+        token_before = first.version_token
+        first.bump_version()
+        assert first.version_token != token_before
+
+    def test_distinct_bases_have_distinct_histories(self):
+        a, b = DataRegion(np.zeros(8)), DataRegion(np.zeros(8))
+        va = a.bump_version()
+        assert b.version != va
+
+    def test_registry_autoremoves_collected_buffers(self):
+        import gc
+
+        from repro.runtime.data import region_versions
+
+        region = DataRegion(np.zeros(8))
+        _ = region.version
+        key = region.base_id
+        assert key in region_versions._entries
+        del region
+        gc.collect()
+        # The weakref callback removed the dead entry — no prune() needed.
+        assert key not in region_versions._entries
+
+    def test_graph_completion_bumps_output_versions(self):
+        from repro.runtime.graph import TaskDependenceGraph
+        from repro.runtime.task import Task, TaskType
+
+        graph = TaskDependenceGraph()
+        buffer = np.zeros(16)
+        access = Out(buffer)
+        before = access.region.version
+        task = Task(
+            task_type=TaskType("vers-test"), function=lambda: None,
+            accesses=[access], task_id=-1,
+        )
+        graph.add_task(task)
+        graph.complete_task(task)
+        assert access.region.version > before
