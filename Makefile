@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures
+.PHONY: test bench bench-check bench-quick figures ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -23,3 +23,8 @@ bench-quick:
 # Figure/table regeneration harness (pytest-benchmark based).
 figures:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Mirror of .github/workflows/ci.yml: tier-1 suite, then perf gates.
+ci:
+	$(PYTHON) -m pytest -x -q
+	$(PYTHON) scripts/bench.py --check

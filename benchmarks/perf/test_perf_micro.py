@@ -49,9 +49,14 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 1
+        assert report["schema_version"] == 2
         assert report["micro"]["keygen"]["cases"]
         assert len(report["endtoend"]) == 6
+        backend = report["process_backend"]
+        assert backend["rows"], "process-backend comparison rows missing"
+        for row in backend["rows"]:
+            assert row["checksums_match"], row
+            assert row["speedup_process_vs_threaded"] > 0
         for run in report["endtoend"]:
             assert len(run["output_checksum"]) == 16
         # ATM-off runs must never pay key-cache costs.

@@ -51,8 +51,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=1,
-        help="report generation number (default 1)",
+        "--bench-id", type=int, default=2,
+        help="report generation number (default 2)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -94,6 +94,17 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  e2e {run['benchmark']:13} {run['mode']:8} "
               f"wall {run['wall_s']:7.3f}s  reuse {run['reuse_percent']:6.2f}%  "
               f"checksum {run['output_checksum']}")
+    backend = report.get("process_backend", {})
+    for row in backend.get("rows", []):
+        limited = (
+            f" (hardware-limited: {backend.get('cpu_count')} CPU(s) "
+            f"< {backend.get('workers')} workers)"
+            if backend.get("hardware_limited") else ""
+        )
+        print(f"  backend {row['benchmark']:13} serial {row['serial_s']:6.3f}s  "
+              f"threaded{row['workers']} {row['threaded_s']:6.3f}s  "
+              f"process{row['workers']} {row['process_s']:6.3f}s  "
+              f"p/t speedup {row['speedup_process_vs_threaded']:.2f}x{limited}")
 
     failures = check_report(report)
     if failures:

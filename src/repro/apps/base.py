@@ -97,6 +97,27 @@ class BenchmarkApp(abc.ABC):
         runtime.finish()
         self._built = True
 
+    def run_on(self, executor: str = "serial", cores: int = 1, engine=None):
+        """Run the whole program on a named execution backend (DESIGN.md §4).
+
+        Convenience wrapper used by the parity matrix and the perf harness:
+        builds the :class:`~repro.common.config.RuntimeConfig`, selects the
+        backend through :func:`repro.runtime.executor.make_executor`, runs to
+        completion (releasing the process backend's pool) and returns the
+        :class:`~repro.runtime.executor.RunResult`.
+        """
+        from repro.common.config import RuntimeConfig
+        from repro.runtime.executor import make_executor
+
+        config = RuntimeConfig(num_threads=cores, executor=executor)
+        backend = make_executor(config, engine=engine)
+        try:
+            runtime = TaskRuntime(executor=backend, config=config)
+            self.run(runtime)
+        finally:
+            backend.close()
+        return backend.result()
+
     def relative_error(self, reference_output: np.ndarray) -> float:
         """Program-level relative error against a reference run (Eq. 3)."""
         return euclidean_relative_error(reference_output, self.output())

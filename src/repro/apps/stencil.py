@@ -194,17 +194,22 @@ class _StencilBase(BenchmarkApp):
         )
 
     def _submit_halo_copies(self, runtime: TaskRuntime, blocks: np.ndarray, i: int, j: int) -> list:
-        """Submit the copy tasks feeding block (i, j)'s halos; return accesses."""
+        """Submit the copy tasks feeding block (i, j)'s halos; return accesses.
+
+        The task bodies are the module-level :func:`copy_row` / :func:`copy_col`
+        with the row/column index passed as a plain argument (not captured in
+        a closure), so copy tasks stay picklable for the process backend.
+        """
         grid = self.grid
         bs = grid.block_size
         halo_in = []
         specs = [
-            ("top", grid.halo_top[i, j], (i - 1, j), lambda b, h: copy_row(b, h, bs - 1)),
-            ("bottom", grid.halo_bottom[i, j], (i + 1, j), lambda b, h: copy_row(b, h, 0)),
-            ("left", grid.halo_left[i, j], (i, j - 1), lambda b, h: copy_col(b, h, bs - 1)),
-            ("right", grid.halo_right[i, j], (i, j + 1), lambda b, h: copy_col(b, h, 0)),
+            ("top", grid.halo_top[i, j], (i - 1, j), copy_row, bs - 1),
+            ("bottom", grid.halo_bottom[i, j], (i + 1, j), copy_row, 0),
+            ("left", grid.halo_left[i, j], (i, j - 1), copy_col, bs - 1),
+            ("right", grid.halo_right[i, j], (i, j + 1), copy_col, 0),
         ]
-        for side, halo, (ni, nj), body in specs:
+        for side, halo, (ni, nj), body, line in specs:
             if 0 <= ni < grid.block_rows and 0 <= nj < grid.block_cols:
                 neighbour = blocks[ni, nj]
                 runtime.submit(
@@ -214,7 +219,7 @@ class _StencilBase(BenchmarkApp):
                         In(neighbour, name=f"block[{ni},{nj}]"),
                         Out(halo, name=f"halo_{side}[{i},{j}]"),
                     ],
-                    args=(neighbour, halo),
+                    args=(neighbour, halo, line),
                 )
                 halo_in.append(halo)
             else:

@@ -220,6 +220,37 @@ class ATMEngine:
             pairs.append((fresh, stored.reshape(fresh.shape)))
         return combined_chebyshev_error(pairs)
 
+    # -- cross-process deltas -----------------------------------------------------------
+    def enable_delta_snapshots(self) -> None:
+        """Journal THT commits so :meth:`snapshot` ships incremental deltas.
+
+        Process-backend workers call this once at startup; each drain-barrier
+        ``snapshot(reset=True)`` then contains only the work done since the
+        previous barrier, making :meth:`merge` on the parent idempotent-safe.
+        """
+        self.tht.enable_journal()
+
+    def snapshot(self, reset: bool = False) -> dict:
+        """Serializable engine state delta: statistics + THT commits."""
+        return {
+            "stats": self.stats.snapshot(reset=reset),
+            "tht": self.tht.snapshot(reset=reset),
+        }
+
+    def merge(self, delta: dict) -> None:
+        """Fold a peer engine's :meth:`snapshot` into this engine.
+
+        The parent process uses this to consolidate per-worker engines after
+        a process-backend drain: statistics counters and reuse events are
+        accumulated, THT entries are inserted with refresh/FIFO semantics.
+        IKT state is never merged — in-flight keys are meaningless across
+        process boundaries once a drain barrier has completed.
+        """
+        if not delta:
+            return
+        self.stats.merge(delta.get("stats", {}))
+        self.tht.merge(delta.get("tht", {}))
+
     # -- reporting -------------------------------------------------------------------
     def memory_bytes(self) -> dict[str, int]:
         """ATM memory footprint breakdown (Table III)."""

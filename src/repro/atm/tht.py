@@ -29,7 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.common.config import ATMConfig
-from repro.common.hashing import HashKey, canonical_p
+from repro.common.hashing import HashKey, bucket_of_value, canonical_p
 
 __all__ = ["THTEntry", "TaskHistoryTable"]
 
@@ -88,6 +88,12 @@ class TaskHistoryTable:
         self._buckets: list[deque[THTEntry]] = [deque() for _ in range(self.n_buckets)]
         self._locks = [threading.Lock() for _ in range(self.n_buckets)]
         self._counters = [_BucketCounters() for _ in range(self.n_buckets)]
+        # Counters folded in from merged peer tables (process-backend workers).
+        self._foreign = _BucketCounters()
+        # Optional insertion journal so snapshot(reset=True) ships only the
+        # entries committed since the previous snapshot.
+        self._journal: Optional[list[THTEntry]] = None
+        self._journal_lock = threading.Lock()
 
     # -- bucket selection --------------------------------------------------------
     def bucket_index(self, key: HashKey) -> int:
@@ -140,24 +146,97 @@ class TaskHistoryTable:
                 counters.evictions += 1
             bucket.append(entry)
             counters.insertions += 1
+        if self._journal is not None:
+            with self._journal_lock:
+                self._journal.append(entry)
         return entry
+
+    # -- cross-process deltas ----------------------------------------------------
+    def enable_journal(self) -> None:
+        """Record every insertion so snapshots can ship incremental deltas."""
+        with self._journal_lock:
+            if self._journal is None:
+                self._journal = []
+
+    def snapshot(self, reset: bool = False) -> dict:
+        """Serializable view of the table: entries + aggregated counters.
+
+        With the journal enabled, ``entries`` contains only the insertions
+        since the previous ``reset=True`` snapshot; otherwise the full table
+        content is shipped.  ``reset=True`` also zeroes the counters so the
+        snapshot acts as a delta (process-backend workers call it once per
+        drain barrier).
+        """
+        entries: list[THTEntry] = []
+        if self._journal is not None:
+            with self._journal_lock:
+                entries = list(self._journal)
+                if reset:
+                    self._journal.clear()
+        else:
+            for index in range(self.n_buckets):
+                with self._locks[index]:
+                    entries.extend(self._buckets[index])
+        counters = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+        }
+        if reset:
+            for index in range(self.n_buckets):
+                with self._locks[index]:
+                    self._counters[index].reset()
+            self._foreign.reset()
+        return {"entries": entries, "counters": counters}
+
+    def merge(self, delta: dict) -> None:
+        """Fold a peer table's :meth:`snapshot` into this one.
+
+        Entries are inserted with the usual refresh/FIFO-evict semantics but
+        without touching the probe counters (no lookup happened *here*); the
+        peer's counters are accumulated separately so aggregate hit/miss
+        totals reflect the union of all processes.
+        """
+        for entry in delta.get("entries", []):
+            index = bucket_of_value(entry.key_value, self.config.tht_bucket_bits)
+            with self._locks[index]:
+                bucket = self._buckets[index]
+                for position, existing in enumerate(bucket):
+                    if (
+                        existing.key_value == entry.key_value
+                        and existing.task_type_name == entry.task_type_name
+                        and existing.p_canonical == entry.p_canonical
+                    ):
+                        bucket[position] = entry
+                        break
+                else:
+                    if len(bucket) >= self.capacity:
+                        bucket.popleft()
+                        self._foreign.evictions += 1
+                    bucket.append(entry)
+        counters = delta.get("counters", {})
+        self._foreign.hits += int(counters.get("hits", 0))
+        self._foreign.misses += int(counters.get("misses", 0))
+        self._foreign.insertions += int(counters.get("insertions", 0))
+        self._foreign.evictions += int(counters.get("evictions", 0))
 
     # -- statistics -------------------------------------------------------------
     @property
     def hits(self) -> int:
-        return sum(c.hits for c in self._counters)
+        return sum(c.hits for c in self._counters) + self._foreign.hits
 
     @property
     def misses(self) -> int:
-        return sum(c.misses for c in self._counters)
+        return sum(c.misses for c in self._counters) + self._foreign.misses
 
     @property
     def insertions(self) -> int:
-        return sum(c.insertions for c in self._counters)
+        return sum(c.insertions for c in self._counters) + self._foreign.insertions
 
     @property
     def evictions(self) -> int:
-        return sum(c.evictions for c in self._counters)
+        return sum(c.evictions for c in self._counters) + self._foreign.evictions
 
     # -- introspection ----------------------------------------------------------------
     def __len__(self) -> int:
@@ -188,3 +267,7 @@ class TaskHistoryTable:
             with self._locks[index]:
                 self._buckets[index].clear()
                 self._counters[index].reset()
+        self._foreign.reset()
+        with self._journal_lock:
+            if self._journal is not None:
+                self._journal.clear()

@@ -164,7 +164,11 @@ class RuntimeConfig:
     Attributes
     ----------
     num_threads:
-        Worker threads / simulated cores.
+        Worker threads / worker processes / simulated cores.
+    executor:
+        Execution backend selected by :func:`repro.runtime.executor.make_executor`:
+        ``"serial"``, ``"threaded"``, ``"process"`` or ``"simulated"``
+        (DESIGN.md §4).
     scheduler:
         Ready-queue policy name (``"fifo"``, ``"lifo"`` or
         ``"work_stealing"``).
@@ -176,13 +180,27 @@ class RuntimeConfig:
         V-C.
     seed:
         Seed for any stochastic scheduling decisions (work stealing).
+    mp_workers:
+        Worker-process count for the ``"process"`` backend (``None`` falls
+        back to ``num_threads``).
+    mp_chunk_size:
+        Maximum ready tasks batched into one dispatch message of the
+        process backend (amortises queue/pickle overhead on wide graphs;
+        narrow/wavefront graphs still dispatch singles, see DESIGN.md §4.3).
+    mp_start_method:
+        ``multiprocessing`` start method for the process backend (``None``
+        picks ``"fork"`` where available, else ``"spawn"``).
     """
 
     num_threads: int = 8
+    executor: str = "serial"
     scheduler: str = "fifo"
     enable_tracing: bool = False
     max_ready_tasks: Optional[int] = None
     seed: int = 2017
+    mp_workers: Optional[int] = None
+    mp_chunk_size: int = 8
+    mp_start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -192,10 +210,20 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"num_threads must be >= 1, got {self.num_threads}"
             )
+        if self.executor not in ("serial", "threaded", "process", "simulated"):
+            raise ConfigurationError(f"unknown executor {self.executor!r}")
         if self.scheduler not in ("fifo", "lifo", "work_stealing"):
             raise ConfigurationError(f"unknown scheduler {self.scheduler!r}")
         if self.max_ready_tasks is not None and self.max_ready_tasks < 1:
             raise ConfigurationError("max_ready_tasks must be >= 1 or None")
+        if self.mp_workers is not None and self.mp_workers < 1:
+            raise ConfigurationError("mp_workers must be >= 1 or None")
+        if self.mp_chunk_size < 1:
+            raise ConfigurationError("mp_chunk_size must be >= 1")
+        if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ConfigurationError(
+                f"unknown mp_start_method {self.mp_start_method!r}"
+            )
 
     def with_overrides(self, **kwargs) -> "RuntimeConfig":
         return replace(self, **kwargs)

@@ -35,6 +35,7 @@ import numpy as np
 
 __all__ = [
     "HashKey",
+    "bucket_of_value",
     "jenkins_one_at_a_time",
     "jenkins_lookup3",
     "hash_bytes",
@@ -49,6 +50,19 @@ __all__ = [
 
 _MASK32 = 0xFFFFFFFF
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def bucket_of_value(value: int, n_bits: int) -> int:
+    """THT bucket of a raw 64-bit key value: its lower ``n_bits`` bits.
+
+    The single source of truth for bucket selection — used both by live
+    lookups (:meth:`HashKey.bucket`) and by the THT delta merge, which only
+    has the stored ``key_value``; the two must never disagree or merged
+    worker entries would land in buckets lookups never probe.
+    """
+    if n_bits <= 0:
+        return 0
+    return value & ((1 << n_bits) - 1)
 
 BytesLike = Union[bytes, bytearray, memoryview, np.ndarray]
 
@@ -80,9 +94,7 @@ class HashKey:
 
     def bucket(self, n_bits: int) -> int:
         """Return the THT bucket index: the lower ``n_bits`` bits of the key."""
-        if n_bits <= 0:
-            return 0
-        return self.value & ((1 << n_bits) - 1)
+        return bucket_of_value(self.value, n_bits)
 
     @property
     def storage_bytes(self) -> int:

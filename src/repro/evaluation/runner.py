@@ -22,8 +22,7 @@ from repro.atm.policy import ATMMode, make_policy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
 from repro.common.exceptions import EvaluationError
 from repro.runtime.api import TaskRuntime
-from repro.runtime.executor import SerialExecutor, ThreadedExecutor
-from repro.runtime.simulator import SimulatedExecutor
+from repro.runtime.executor import make_executor
 from repro.runtime.trace import TraceRecorder
 
 __all__ = [
@@ -47,7 +46,7 @@ class ExperimentSpec:
     use_ikt: bool = True
     tht_bucket_bits: int = 8
     tht_bucket_capacity: int = 128
-    executor: str = "simulated"      # simulated | serial | threaded
+    executor: str = "simulated"      # simulated | serial | threaded | process
     enable_tracing: bool = False
     seed: int = 2017
 
@@ -96,20 +95,16 @@ def clear_reference_cache() -> None:
 
 
 def _make_executor(spec: ExperimentSpec, engine: Optional[ATMEngine]):
+    if spec.executor not in ("simulated", "serial", "threaded", "process"):
+        raise EvaluationError(f"unknown executor {spec.executor!r}")
+    cores = 1 if spec.executor == "serial" else spec.cores
     runtime_config = RuntimeConfig(
-        num_threads=spec.cores, enable_tracing=spec.enable_tracing
+        num_threads=cores,
+        executor=spec.executor,
+        enable_tracing=spec.enable_tracing,
     )
-    if spec.executor == "simulated":
-        return SimulatedExecutor(
-            config=runtime_config, engine=engine, sim_config=SimulationConfig()
-        )
-    if spec.executor == "serial":
-        return SerialExecutor(
-            config=runtime_config.with_overrides(num_threads=1), engine=engine
-        )
-    if spec.executor == "threaded":
-        return ThreadedExecutor(config=runtime_config, engine=engine)
-    raise EvaluationError(f"unknown executor {spec.executor!r}")
+    sim_config = SimulationConfig() if spec.executor == "simulated" else None
+    return make_executor(runtime_config, engine=engine, sim_config=sim_config)
 
 
 def _make_engine(spec: ExperimentSpec) -> Optional[ATMEngine]:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.common.hashing import hash_bytes
 from repro.evaluation.runner import ExperimentSpec, clear_reference_cache, run_benchmark
+from repro.perf.report import safe_ratio
 
 __all__ = ["bench_end_to_end"]
 
@@ -53,7 +54,7 @@ def bench_end_to_end(matrix=DEFAULT_MATRIX, scale: str = "tiny", cores: int = 8)
             "wall_s": round(wall, 4),
             "simulated_elapsed_us": round(result.elapsed, 2),
             "tasks_completed": result.tasks_completed,
-            "tasks_per_wall_sec": round(result.tasks_completed / wall, 1),
+            "tasks_per_wall_sec": round(safe_ratio(result.tasks_completed, wall), 1),
             "reuse_percent": round(result.reuse_percent, 3),
             "relative_error": float(result.relative_error),
             "memory_overhead_percent": round(result.memory_overhead_percent, 4),

@@ -30,6 +30,7 @@ from repro.atm.tht import TaskHistoryTable
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
 from repro.common.hashing import HashKey
 from repro.common.rng import generator_for
+from repro.perf.report import safe_ratio
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.simulator import SimulatedExecutor
@@ -230,7 +231,7 @@ def bench_dependences(tasks: int = 600) -> dict:
     return {
         "tasks": tasks,
         "submit_us_per_task": round(per_task_us, 3),
-        "tasks_per_sec": round(1e6 / per_task_us, 1),
+        "tasks_per_sec": round(safe_ratio(1e6, per_task_us), 1),
     }
 
 
@@ -262,5 +263,5 @@ def bench_simulator_drain(tasks: int = 400, cores: int = 8) -> dict:
         "tasks": tasks,
         "cores": cores,
         "drain_wall_s": round(elapsed, 4),
-        "events_per_sec": round(tasks / elapsed, 1),
+        "events_per_sec": round(safe_ratio(tasks, elapsed), 1),
     }

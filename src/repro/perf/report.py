@@ -1,15 +1,15 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 1):
+perf trajectory.  Schema (``schema_version`` 2):
 
 .. code-block:: text
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
-      "host": {"python": ..., "numpy": ..., "platform": ...},
+      "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
       "micro": {
         "keygen": {"cases": [...], "shuffle_memory": {...},
                     "headline_speedup": <float>},
@@ -18,6 +18,11 @@ perf trajectory.  Schema (``schema_version`` 1):
         "simulator": {...}
       },
       "endtoend": [ {per-run record, incl. output_checksum}, ... ],
+      "process_backend": {            # serial/threaded/process comparison
+        "workers": ..., "cpu_count": ..., "hardware_limited": ...,
+        "rows": [ {benchmark, *_s walls, speedup_process_vs_threaded,
+                    dispatch_overhead_ms_per_task, checksums_match}, ... ]
+      },
       "checks": {"keygen_speedup_multi_input": <float>,
                   "shuffle_memory_reduction": <float>,
                   "thresholds": {...}, "passed": <bool>}
@@ -25,22 +30,37 @@ perf trajectory.  Schema (``schema_version`` 1):
 
 ``check_report`` enforces the acceptance thresholds (keygen >= 3x on
 multi-input tasks, shuffle memory >= 5x smaller than the seed); wall-clock
-metrics are recorded for trend analysis but deliberately not gated, because
-CI machines vary.
+metrics — including the process-backend speedups, which depend on physical
+core availability — are recorded for trend analysis but deliberately not
+gated, because CI machines vary.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["build_report", "check_report", "write_report", "SCHEMA_VERSION"]
+__all__ = [
+    "build_report",
+    "check_report",
+    "write_report",
+    "safe_ratio",
+    "SCHEMA_VERSION",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` guarded against empty/zero-task runs."""
+    if not denominator:
+        return default
+    return numerator / denominator
 
 #: Acceptance thresholds for the gated metrics.
 THRESHOLDS = {
@@ -58,6 +78,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         bench_simulator_drain,
         bench_tht_probe,
     )
+    from repro.perf.process_backend import bench_process_backend
 
     # Quick mode trims rounds, never input scale: small inputs make the cold
     # keygen cases Python-overhead-bound and the speedup gate unrepresentative.
@@ -70,6 +91,14 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "simulator": bench_simulator_drain(tasks=150 if quick else 400),
     }
     endtoend = bench_end_to_end()
+    # Quick mode trims the backend comparison to the cheap task-churn case
+    # (skipping the multi-second swaptions runs); the full report keeps both.
+    if quick:
+        process_backend = bench_process_backend(
+            workers=2, cases=(("blackscholes", "tiny"),)
+        )
+    else:
+        process_backend = bench_process_backend(workers=4)
     checks = {
         "keygen_speedup_multi_input": keygen["headline_speedup"],
         "shuffle_memory_reduction": keygen["shuffle_memory"]["reduction"],
@@ -86,9 +115,11 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "cpu_count": os.cpu_count() or 1,
         },
         "micro": micro,
         "endtoend": endtoend,
+        "process_backend": process_backend,
         "checks": checks,
     }
 

@@ -10,9 +10,11 @@ The runtime exposes the same concepts the paper relies on:
   :mod:`repro.runtime.graph`);
 * **ready queues** and **schedulers** (:mod:`repro.runtime.ready_queue`,
   :mod:`repro.runtime.scheduler`);
-* three executors: a serial one, a real-thread one and a deterministic
-  discrete-event multicore simulator (:mod:`repro.runtime.executor`,
-  :mod:`repro.runtime.simulator`);
+* four executors: a serial one, a real-thread one, a multiprocess
+  shared-memory one and a deterministic discrete-event multicore simulator
+  (:mod:`repro.runtime.executor`, :mod:`repro.runtime.mp_executor`,
+  :mod:`repro.runtime.simulator`, selected via
+  :func:`repro.runtime.executor.make_executor`; see DESIGN.md §4);
 * an execution **trace recorder** used to regenerate the paper's Figures 7
   and 8 (:mod:`repro.runtime.trace`);
 * the user-facing API (:mod:`repro.runtime.api`).
@@ -22,8 +24,14 @@ from repro.runtime.data import AccessMode, DataAccess, DataRegion, In, InOut, Ou
 from repro.runtime.task import Task, TaskState, TaskType
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.api import TaskRuntime, task
-from repro.runtime.executor import RunResult, SerialExecutor, ThreadedExecutor
+from repro.runtime.executor import (
+    RunResult,
+    SerialExecutor,
+    ThreadedExecutor,
+    make_executor,
+)
 from repro.runtime.simulator import SimulatedExecutor
+from repro.runtime.mp_executor import ProcessExecutor
 
 __all__ = [
     "AccessMode",
@@ -42,4 +50,6 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "SimulatedExecutor",
+    "ProcessExecutor",
+    "make_executor",
 ]

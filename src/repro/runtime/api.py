@@ -99,9 +99,14 @@ class TaskRuntime:
         return self.executor.drain(self.graph)
 
     def finish(self) -> RunResult:
-        """Final barrier; afterwards the runtime rejects new submissions."""
+        """Final barrier; afterwards the runtime rejects new submissions.
+
+        Also releases executor-held resources (the process backend's worker
+        pool and shared-memory segments); the returned result stays valid.
+        """
         result = self.wait_all()
         self._closed = True
+        self.executor.close()
         return result
 
     # -- introspection -----------------------------------------------------------

@@ -32,6 +32,9 @@ from repro.common.exceptions import TaskDefinitionError
 __all__ = [
     "AccessMode",
     "DataRegion",
+    "SharedDataRegion",
+    "ArrayRef",
+    "RegionDescriptor",
     "DataAccess",
     "In",
     "Out",
@@ -272,6 +275,59 @@ class DataRegion:
             f"DataRegion(name={self.name!r}, dtype={self.array.dtype}, "
             f"shape={self.shape}, bytes={self.nbytes})"
         )
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """Serializable handle to an array view living in a shared segment.
+
+    Produced by :meth:`repro.runtime.shm.SharedBufferRegistry.array_ref` in
+    the parent and materialised by :meth:`repro.runtime.shm.WorkerArena.view`
+    in a worker process.  ``offset``/``strides`` are byte-exact relative to
+    the owning base buffer, so the reconstructed view aliases the same bytes
+    the parent-side view does.
+    """
+
+    shm_name: str
+    base_nbytes: int
+    slot: int
+    offset: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class RegionDescriptor:
+    """Serializable description of one :class:`DataRegion` (ref + name)."""
+
+    ref: ArrayRef
+    name: str
+
+
+class SharedDataRegion(DataRegion):
+    """A region whose write-versions live in a cross-process shared table.
+
+    Worker processes rebuild task regions over shared-memory views; their
+    versions must be observed by *every* worker (a peer may have committed a
+    write since this worker last hashed the region), so the per-process
+    :class:`RegionVersionRegistry` is replaced by a
+    :class:`repro.runtime.shm.SharedVersionTable` slot.
+    """
+
+    __slots__ = ("_slot", "_version_table")
+
+    def __init__(self, array, name=None, *, slot: int, version_table) -> None:
+        super().__init__(array, name=name)
+        self._slot = slot
+        self._version_table = version_table
+
+    @property
+    def version(self) -> int:
+        return self._version_table.read(self._slot)
+
+    def bump_version(self) -> int:
+        return self._version_table.bump(self._slot)
 
 
 def as_region(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataRegion:

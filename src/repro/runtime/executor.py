@@ -37,7 +37,13 @@ from repro.runtime.scheduler import Scheduler, make_scheduler
 from repro.runtime.task import Task, TaskState
 from repro.runtime.trace import CoreState, TraceRecorder
 
-__all__ = ["RunResult", "BaseExecutor", "SerialExecutor", "ThreadedExecutor"]
+__all__ = [
+    "RunResult",
+    "BaseExecutor",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "make_executor",
+]
 
 
 @dataclass
@@ -143,6 +149,13 @@ class BaseExecutor:
 
     def drain(self, graph: TaskDependenceGraph) -> RunResult:  # pragma: no cover
         raise NotImplementedError
+
+    def close(self) -> None:
+        """Release executor resources (worker pools, shared segments).
+
+        No-op for in-process executors; the process backend overrides it.
+        :meth:`TaskRuntime.finish` calls it after the final barrier.
+        """
 
 
 class SerialExecutor(BaseExecutor):
@@ -297,3 +310,32 @@ class ThreadedExecutor(BaseExecutor):
             final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
             graph.complete_task(task, final_state)
         self.trace.sample_ready(now(), self.scheduler.pending())
+
+
+def make_executor(
+    config: Optional[RuntimeConfig] = None,
+    engine: Optional[MemoizationEngineProtocol] = None,
+    sim_config=None,
+) -> BaseExecutor:
+    """Build the executor named by ``config.executor`` (DESIGN.md §4).
+
+    ``"serial"`` and ``"threaded"`` come from this module; ``"process"``
+    (:class:`repro.runtime.mp_executor.ProcessExecutor`) and ``"simulated"``
+    (:class:`repro.runtime.simulator.SimulatedExecutor`) are imported lazily
+    to keep the module dependency graph acyclic.
+    """
+    config = config or RuntimeConfig()
+    name = config.executor
+    if name == "serial":
+        return SerialExecutor(config=config, engine=engine)
+    if name == "threaded":
+        return ThreadedExecutor(config=config, engine=engine)
+    if name == "process":
+        from repro.runtime.mp_executor import ProcessExecutor
+
+        return ProcessExecutor(config=config, engine=engine)
+    if name == "simulated":
+        from repro.runtime.simulator import SimulatedExecutor
+
+        return SimulatedExecutor(config=config, engine=engine, sim_config=sim_config)
+    raise RuntimeStateError(f"unknown executor backend {name!r}")  # pragma: no cover

@@ -1,0 +1,546 @@
+"""Multiprocess shared-memory execution backend.
+
+:class:`ProcessExecutor` runs task bodies in real worker *processes*, the
+only Python backend that can use more than one core for the compute-bound
+portions of a program (the ``ThreadedExecutor`` is GIL-bound, see DESIGN.md
+§4.2).  The division of labour:
+
+* **Parent** — owns the task dependence graph, the scheduler and the
+  reference :class:`~repro.atm.engine.ATMEngine`.  Ready tasks are encoded
+  as small descriptors (function by reference, array payloads as
+  :class:`~repro.runtime.data.ArrayRef` handles into shared memory) and
+  batched onto one shared task queue (chunked dispatch,
+  ``RuntimeConfig.mp_chunk_size``).  Completions release successors through
+  the ordinary graph machinery.
+* **Workers** — pull chunks from the shared queue, rebuild each task over
+  :mod:`multiprocessing.shared_memory` views
+  (:class:`~repro.runtime.shm.WorkerArena`), run the full ATM protocol
+  against a **per-worker engine** (lookup → execute/skip → commit), bump the
+  cross-process write-version table for every committed write, and report
+  per-task accounting.
+* **Drain barrier** — when the graph is finished the parent copies written
+  buffers back into the application arrays and collects one serializable
+  delta per worker (``ATMEngine.snapshot(reset=True)``: stats + THT
+  commits), merging them into the parent engine
+  (``ATMEngine.merge``), so reporting, figures and Table III reaction paths
+  see the consolidated state.
+
+Per-worker engines deliberately run with the IKT disabled: a worker
+processes one task at a time, so an in-flight twin can never exist inside a
+worker, and cross-process in-flight tracking would serialise every lookup on
+one lock — the THT delta merge at the barrier recovers the sharing instead.
+
+Worker processes persist across drains (barriers inside an application keep
+their warm THTs and keygen caches); :meth:`ProcessExecutor.close` — called
+automatically by :meth:`TaskRuntime.finish` and by a GC finalizer — shuts
+the pool down and unlinks every shared segment.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as queue_module
+import time
+import traceback
+import weakref
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import RuntimeStateError
+from repro.runtime.atm_protocol import ATMAction, ATMDecision, EXECUTE_DECISION
+from repro.runtime.data import AccessMode, ArrayRef, DataAccess, RegionDescriptor
+from repro.runtime.executor import BaseExecutor, RunResult
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.shm import SharedBufferRegistry, SharedVersionTable, WorkerArena
+from repro.runtime.task import Task, TaskState, TaskType
+
+__all__ = ["ProcessExecutor"]
+
+
+@dataclass(frozen=True)
+class _TaskTypeSpec:
+    """Reduced, picklable description of a :class:`TaskType`.
+
+    Cost models are deliberately dropped: they are only used by the
+    simulator, and applications routinely define them as (unpicklable)
+    lambdas.
+    """
+
+    name: str
+    memoizable: bool
+    tau_max: Optional[float]
+    l_training: Optional[int]
+    deterministic: bool
+
+    @classmethod
+    def of(cls, task_type: TaskType) -> "_TaskTypeSpec":
+        return cls(
+            name=task_type.name,
+            memoizable=task_type.memoizable,
+            tau_max=task_type.tau_max,
+            l_training=task_type.l_training,
+            deterministic=task_type.deterministic,
+        )
+
+    def build(self) -> TaskType:
+        return TaskType(
+            name=self.name,
+            memoizable=self.memoizable,
+            tau_max=self.tau_max,
+            l_training=self.l_training,
+            deterministic=self.deterministic,
+        )
+
+
+@dataclass(frozen=True)
+class _TaskDescriptor:
+    """Everything a worker needs to rebuild and run one task."""
+
+    task_id: int
+    creation_index: int
+    type_spec: _TaskTypeSpec
+    function: Any
+    accesses: tuple[tuple[RegionDescriptor, str], ...]
+    args: tuple
+    kwargs: dict
+
+
+@dataclass(frozen=True)
+class _EngineSpec:
+    """Recipe for the per-worker ATM engine (policy state stays per worker)."""
+
+    mode: str
+    config: Any  # ATMConfig
+    p: Optional[float]
+
+
+def _build_worker_engine(spec: Optional[_EngineSpec]):
+    if spec is None:
+        return None
+    from repro.atm.engine import ATMEngine
+    from repro.atm.policy import ATMMode, make_policy
+
+    # One task at a time per worker: an in-flight twin cannot exist inside a
+    # worker, so the IKT would only ever miss (see module docstring).
+    config = spec.config.with_overrides(use_ikt=False)
+    policy = make_policy(ATMMode(spec.mode), config, p=spec.p)
+    engine = ATMEngine(config=config, policy=policy, num_threads=1)
+    engine.enable_delta_snapshots()
+    return engine
+
+
+def _encode_payload(value, registry: SharedBufferRegistry):
+    """Swap every ndarray in a (nested) argument payload for an ArrayRef."""
+    if isinstance(value, np.ndarray):
+        return registry.array_ref(value)
+    if isinstance(value, tuple):
+        return tuple(_encode_payload(v, registry) for v in value)
+    if isinstance(value, list):
+        return [_encode_payload(v, registry) for v in value]
+    if isinstance(value, dict):
+        return {k: _encode_payload(v, registry) for k, v in value.items()}
+    return value
+
+
+def _decode_payload(value, arena: WorkerArena):
+    if isinstance(value, ArrayRef):
+        return arena.view(value)
+    if isinstance(value, tuple):
+        return tuple(_decode_payload(v, arena) for v in value)
+    if isinstance(value, list):
+        return [_decode_payload(v, arena) for v in value]
+    if isinstance(value, dict):
+        return {k: _decode_payload(v, arena) for k, v in value.items()}
+    return value
+
+
+def _run_descriptor(
+    desc: _TaskDescriptor,
+    arena: WorkerArena,
+    engine,
+    task_types: dict[str, TaskType],
+    worker_id: int,
+) -> tuple[str, bool]:
+    """Rebuild one task over shared memory and run the full ATM protocol."""
+    task_type = task_types.get(desc.type_spec.name)
+    if task_type is None:
+        task_type = desc.type_spec.build()
+        task_types[desc.type_spec.name] = task_type
+    accesses = [
+        DataAccess(arena.region(region_desc), AccessMode(mode_value))
+        for region_desc, mode_value in desc.accesses
+    ]
+    task = Task(
+        task_type=task_type,
+        function=desc.function,
+        accesses=accesses,
+        args=_decode_payload(desc.args, arena),
+        kwargs=_decode_payload(desc.kwargs, arena),
+        task_id=desc.task_id,
+    )
+    task.creation_index = desc.creation_index
+    task.label = f"{task_type.name}#{desc.task_id}"
+
+    # Same eligibility gate as BaseExecutor._lookup, so per-worker stats
+    # merge into the exact totals a single-process engine would have seen.
+    if engine is not None and task_type.atm_eligible:
+        decision = engine.task_ready(task, worker_id)
+    else:
+        decision = EXECUTE_DECISION
+    executed = False
+    if not decision.skips_execution:
+        task.state = TaskState.RUNNING
+        task.run()
+        executed = True
+        # Commit the writes to the cross-process version protocol *before*
+        # reporting completion: once the parent releases a successor, any
+        # worker hashing these bytes must observe the new version.  (The
+        # SKIP path bumps through DataRegion.copy_from already.)
+        for access in task.accesses:
+            if access.writes:
+                access.region.bump_version()
+    if decision.atm_handled and engine is not None:
+        engine.task_finished(task, decision, executed, worker_id)
+    return decision.action.value, executed
+
+
+def _worker_main(
+    worker_id: int,
+    task_queue,
+    control_queue,
+    result_queue,
+    version_name: str,
+    version_capacity: int,
+    version_lock,
+    engine_spec: Optional[_EngineSpec],
+) -> None:
+    """Worker process entry point: pull chunks until the shutdown pill."""
+    version_table = SharedVersionTable.attach(version_name, version_capacity, version_lock)
+    arena = WorkerArena(version_table)
+    engine = _build_worker_engine(engine_spec)
+    task_types: dict[str, TaskType] = {}
+    try:
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            kind = message[0]
+            if kind == "sync":
+                delta = engine.snapshot(reset=True) if engine is not None else None
+                result_queue.put(("sync", worker_id, delta))
+                # Park on the private control queue so this worker cannot
+                # swallow a second sync pill meant for a peer.
+                if control_queue.get() is None:
+                    break
+                continue
+            results: list[tuple[int, str, bool]] = []
+            failed = False
+            for desc in pickle.loads(message[1]):
+                try:
+                    action, executed = _run_descriptor(
+                        desc, arena, engine, task_types, worker_id
+                    )
+                except BaseException:
+                    result_queue.put(
+                        ("error", worker_id, desc.task_id, traceback.format_exc())
+                    )
+                    failed = True
+                    break
+                results.append((desc.task_id, action, executed))
+            if results and not failed:
+                result_queue.put(("done", worker_id, results))
+    finally:
+        arena.close()
+        version_table.close()
+
+
+def _cleanup_pool(processes, task_queue, control_queues, registry, version_table):
+    """Idempotent teardown shared by close() and the GC finalizer."""
+    for _ in processes:
+        try:
+            task_queue.put(None)
+        except (OSError, ValueError):  # pragma: no cover - queue already closed
+            break
+    for control in control_queues:
+        try:
+            control.put(None)
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+    deadline = time.perf_counter() + 5.0
+    for process in processes:
+        process.join(timeout=max(0.1, deadline - time.perf_counter()))
+    for process in processes:
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=1.0)
+    registry.close()
+    version_table.close()
+
+
+class ProcessExecutor(BaseExecutor):
+    """Executor backed by worker processes over shared memory."""
+
+    #: Safety timeout for a single drain (seconds).
+    DRAIN_TIMEOUT = 300.0
+    #: Poll interval for completion messages (also the liveness-check cadence).
+    RESULT_POLL = 0.2
+    #: Slots in the shared write-version table (one per owning base buffer).
+    VERSION_TABLE_CAPACITY = 8192
+
+    def __init__(self, config: Optional[RuntimeConfig] = None, engine=None) -> None:
+        super().__init__(config=config, engine=engine)
+        if self.config.enable_tracing:
+            raise RuntimeStateError(
+                "ProcessExecutor does not support tracing: task bodies run in "
+                "worker processes where CoreState spans cannot be recorded; "
+                "use the threaded or simulated backend for Figure 7/8 traces"
+            )
+        self.num_workers = self.config.mp_workers or self.config.num_threads
+        self.chunk_size = self.config.mp_chunk_size
+        method = self.config.mp_start_method
+        if method is None:
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self._ctx = multiprocessing.get_context(method)
+        self._version_table = SharedVersionTable(
+            capacity=self.VERSION_TABLE_CAPACITY, context=self._ctx
+        )
+        self._registry = SharedBufferRegistry(self._version_table)
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        self._control_queues: list = []
+        self._processes: list = []
+        self._engine_spec = self._make_engine_spec(engine)
+        self._closed = False
+        # Registered up front so even a never-drained executor releases its
+        # shared segments; _cleanup_pool sees later-spawned workers through
+        # the (mutated in place) process/control-queue lists.
+        self._finalizer: Optional[weakref.finalize] = weakref.finalize(
+            self,
+            _cleanup_pool,
+            self._processes,
+            self._task_queue,
+            self._control_queues,
+            self._registry,
+            self._version_table,
+        )
+
+    # -- pool management ---------------------------------------------------------
+    @staticmethod
+    def _make_engine_spec(engine) -> Optional[_EngineSpec]:
+        if engine is None:
+            return None
+        policy = getattr(engine, "policy", None)
+        config = getattr(engine, "config", None)
+        if policy is None or config is None:
+            raise RuntimeStateError(
+                "ProcessExecutor requires an ATMEngine-compatible engine "
+                "(with .policy and .config) or engine=None; custom in-process "
+                "engines cannot be replicated into worker processes"
+            )
+        return _EngineSpec(
+            mode=policy.mode.value, config=policy.config, p=policy.config.p
+        )
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise RuntimeStateError("ProcessExecutor already closed")
+        if self._processes:
+            return
+        for worker_id in range(self.num_workers):
+            control = self._ctx.SimpleQueue()
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id,
+                    self._task_queue,
+                    control,
+                    self._result_queue,
+                    self._version_table.name,
+                    self._version_table.capacity,
+                    self._version_table.lock,
+                    self._engine_spec,
+                ),
+                daemon=True,
+                name=f"repro-worker-{worker_id}",
+            )
+            process.start()
+            self._control_queues.append(control)
+            self._processes.append(process)
+
+    def close(self) -> None:
+        """Shut the worker pool down and release every shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()  # runs _cleanup_pool exactly once
+            self._finalizer = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- task encoding -----------------------------------------------------------
+    def _describe_task(self, task: Task) -> _TaskDescriptor:
+        accesses = tuple(
+            (
+                RegionDescriptor(
+                    ref=self._registry.array_ref(access.region.array),
+                    name=access.region.name,
+                ),
+                access.mode.value,
+            )
+            for access in task.accesses
+        )
+        return _TaskDescriptor(
+            task_id=task.task_id,
+            creation_index=task.creation_index,
+            type_spec=_TaskTypeSpec.of(task.task_type),
+            function=task.function,
+            accesses=accesses,
+            args=_encode_payload(task.args, self._registry),
+            kwargs=_encode_payload(task.kwargs, self._registry),
+        )
+
+    # -- drain ---------------------------------------------------------------------
+    def drain(self, graph: TaskDependenceGraph) -> RunResult:
+        if self._closed:
+            raise RuntimeStateError("ProcessExecutor already closed")
+        if graph.all_finished:
+            self._finalize_result()
+            return self._result
+        self._ensure_workers()
+        refreshed = self._registry.copy_in()
+        t0 = time.perf_counter()
+        deadline = t0 + self.DRAIN_TIMEOUT
+        inflight: dict[int, Task] = {}
+        written_slots: set[int] = set()
+        dispatched = 0
+        chunks = 0
+
+        def flush(chunk: list[_TaskDescriptor]) -> None:
+            # Pickle synchronously: mp.Queue serialises in a feeder thread,
+            # which would swallow "unpicklable task function" errors and turn
+            # them into a silent drain hang.  This way they raise here, with
+            # the offending tasks named.
+            nonlocal chunks
+            try:
+                payload = pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                labels = ", ".join(
+                    f"{d.type_spec.name}#{d.task_id}" for d in chunk
+                )
+                raise RuntimeStateError(
+                    f"cannot serialize task(s) [{labels}] for the process "
+                    f"backend: {exc}; task functions and plain arguments must "
+                    "be picklable (module-level functions, no lambdas/closures)"
+                ) from exc
+            self._task_queue.put(("tasks", payload))
+            chunks += 1
+
+        def dispatch_ready() -> None:
+            nonlocal dispatched
+            chunk: list[_TaskDescriptor] = []
+            while True:
+                task = self.scheduler.next_task(0)
+                if task is None:
+                    break
+                chunk.append(self._describe_task(task))
+                inflight[task.task_id] = task
+                dispatched += 1
+                for access in task.accesses:
+                    if access.writes:
+                        written_slots.add(
+                            self._registry.entry_for_array(access.region.array).slot
+                        )
+                if len(chunk) >= self.chunk_size:
+                    flush(chunk)
+                    chunk = []
+            if chunk:
+                flush(chunk)
+
+        while not graph.all_finished:
+            dispatch_ready()
+            if not inflight:
+                if graph.all_finished:
+                    break
+                raise RuntimeStateError(
+                    "process executor starved: no ready tasks, none in flight, "
+                    "but the graph is not finished (undeclared dependence?)"
+                )
+            message = self._next_result(deadline)
+            kind = message[0]
+            if kind == "error":
+                _, worker_id, task_id, trace = message
+                raise RuntimeStateError(
+                    f"worker {worker_id} failed on task {task_id}:\n{trace}"
+                )
+            _, _worker_id, results = message
+            for task_id, action_value, executed in results:
+                task = inflight.pop(task_id)
+                decision = ATMDecision(action=ATMAction(action_value))
+                self._account(decision)
+                final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
+                graph.complete_task(task, final_state)
+
+        elapsed = time.perf_counter() - t0
+        copied_back = self._registry.copy_out(written_slots)
+        if self.engine is not None:
+            self._merge_worker_engines(deadline)
+        self._result.elapsed += elapsed
+        backend = self._result.extra.setdefault(
+            "process_backend",
+            {"workers": self.num_workers, "dispatched": 0, "chunks": 0,
+             "copyin_refreshed": 0, "copyout_buffers": 0},
+        )
+        backend["dispatched"] += dispatched
+        backend["chunks"] += chunks
+        backend["copyin_refreshed"] += refreshed
+        backend["copyout_buffers"] += copied_back
+        self._finalize_result()
+        return self._result
+
+    def _next_result(self, deadline: float):
+        """Blocking result fetch with liveness checks and a hard deadline."""
+        while True:
+            try:
+                return self._result_queue.get(timeout=self.RESULT_POLL)
+            except queue_module.Empty:
+                if time.perf_counter() > deadline:
+                    raise RuntimeStateError(
+                        f"process drain timed out after {self.DRAIN_TIMEOUT}s"
+                    ) from None
+                for process in self._processes:
+                    if not process.is_alive():
+                        raise RuntimeStateError(
+                            f"worker process {process.name} died "
+                            f"(exitcode {process.exitcode}) during drain"
+                        ) from None
+
+    def _merge_worker_engines(self, deadline: float) -> None:
+        """Barrier: collect one delta per worker and fold it into the engine."""
+        for _ in self._processes:
+            self._task_queue.put(("sync",))
+        synced: set[int] = set()
+        while len(synced) < len(self._processes):
+            message = self._next_result(deadline)
+            kind = message[0]
+            if kind == "error":  # pragma: no cover - defensive
+                _, worker_id, task_id, trace = message
+                raise RuntimeStateError(
+                    f"worker {worker_id} failed during sync on task {task_id}:\n{trace}"
+                )
+            if kind != "sync":  # pragma: no cover - defensive
+                raise RuntimeStateError(f"unexpected message during sync: {kind!r}")
+            _, worker_id, delta = message
+            if delta is not None:
+                self.engine.merge(delta)
+            synced.add(worker_id)
+        for control in self._control_queues:
+            control.put("resume")

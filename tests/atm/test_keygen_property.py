@@ -1,0 +1,123 @@
+"""Property-based keygen tests (hypothesis; skipped if it is unavailable).
+
+Random region shapes, dtypes, arities and sampling fractions assert that
+
+* the ``"exact"`` pipeline stays bit-identical to the preserved seed
+  implementation (:mod:`repro.atm.keygen_reference`) — the generative
+  counterpart of the fixed-case suite in ``test_keygen_equivalence.py``;
+* ``"digest"`` keys are *stable*: they depend only on content, order and
+  ``p``, never on cache state — evicting the LRU (tiny budget), disabling
+  the cache, or bumping write-versions over unchanged bytes must all
+  reproduce the same key value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.atm.keygen import HashKeyGenerator  # noqa: E402
+from repro.atm.keygen_reference import ReferenceKeyGenerator  # noqa: E402
+from repro.common.config import ATMConfig, P_LADDER  # noqa: E402
+from repro.runtime.data import In  # noqa: E402
+from repro.runtime.task import Task, TaskType  # noqa: E402
+
+TT = TaskType("prop-test", memoizable=True)
+
+_DTYPES = (np.float64, np.float32, np.int32, np.int16, np.uint8)
+
+
+def _arrays_from(seed: int, shapes_dtypes) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    arrays = []
+    for n_elements, dtype_index in shapes_dtypes:
+        dtype = np.dtype(_DTYPES[dtype_index % len(_DTYPES)])
+        if dtype.kind == "f":
+            arrays.append(rng.standard_normal(n_elements).astype(dtype))
+        else:
+            info = np.iinfo(dtype)
+            arrays.append(
+                rng.integers(info.min, int(info.max), n_elements).astype(dtype)
+            )
+    return arrays
+
+
+def make_task(arrays) -> Task:
+    return Task(
+        task_type=TT,
+        function=lambda: None,
+        accesses=[In(a) for a in arrays],
+        task_id=0,
+    )
+
+
+shapes_strategy = st.lists(
+    st.tuples(st.integers(1, 4096), st.integers(0, len(_DTYPES) - 1)),
+    min_size=1,
+    max_size=4,
+)
+p_strategy = st.one_of(
+    st.sampled_from(P_LADDER),
+    st.floats(min_value=2.0 ** -15, max_value=1.0, allow_nan=False),
+)
+
+
+class TestExactMatchesReferenceProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        shapes=shapes_strategy,
+        p=p_strategy,
+        type_aware=st.booleans(),
+    )
+    def test_exact_pipeline_equals_seed(self, seed, shapes, p, type_aware):
+        arrays = _arrays_from(seed, shapes)
+        config = ATMConfig(type_aware=type_aware)
+        new = HashKeyGenerator(config)
+        ref = ReferenceKeyGenerator(config)
+        task = make_task(arrays)
+        for _ in range(2):  # cold caches, then hot caches
+            key_new = new.compute(task, p)
+            key_ref = ref.compute(task, p)
+            assert key_new.value == key_ref.value
+            assert key_new.sampled_bytes == key_ref.sampled_bytes
+            assert key_new.total_bytes == key_ref.total_bytes
+
+
+class TestDigestKeyStabilityProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), shapes=shapes_strategy, p=p_strategy)
+    def test_digest_keys_survive_cache_eviction(self, seed, shapes, p):
+        """Key values never depend on what the LRU happened to keep."""
+        arrays = _arrays_from(seed, shapes)
+        task = make_task(arrays)
+        baseline = HashKeyGenerator(
+            ATMConfig(key_pipeline="digest", key_cache=False)
+        ).compute(task, p)
+        # A one-entry-sized budget forces continuous eviction...
+        starved = HashKeyGenerator(
+            ATMConfig(key_pipeline="digest", key_cache_budget_bytes=64)
+        )
+        for _ in range(3):
+            assert starved.compute(task, p).value == baseline.value
+        # ...and a comfortable budget must agree too, hot or cold.
+        cached = HashKeyGenerator(ATMConfig(key_pipeline="digest"))
+        for _ in range(3):
+            assert cached.compute(task, p).value == baseline.value
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**31 - 1), shapes=shapes_strategy, p=p_strategy)
+    def test_digest_keys_survive_version_bumps(self, seed, shapes, p):
+        """A write-version bump without a byte change recomputes the same key."""
+        arrays = _arrays_from(seed, shapes)
+        task = make_task(arrays)
+        generator = HashKeyGenerator(ATMConfig(key_pipeline="digest"))
+        before = generator.compute(task, p)
+        for access in task.accesses:
+            access.region.bump_version()
+        after = generator.compute(task, p)
+        assert after.value == before.value
+        assert after.sampled_bytes == before.sampled_bytes

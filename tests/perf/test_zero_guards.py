@@ -1,0 +1,49 @@
+"""Zero-task guards: empty-graph drains and perf ratio fields.
+
+Regression tests for the divide-by-zero class of bugs: draining a runtime
+that never received a task must return a well-formed zero result on every
+backend, and every derived ratio (``reuse_fraction``, tasks/sec,
+events/sec, backend speedups) must degrade to a default instead of raising.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import RuntimeConfig
+from repro.perf.report import safe_ratio
+from repro.runtime.api import TaskRuntime
+from repro.runtime.executor import RunResult, make_executor
+
+BACKENDS = ("serial", "threaded", "process", "simulated")
+
+
+class TestSafeRatio:
+    def test_normal_division(self):
+        assert safe_ratio(6.0, 3.0) == pytest.approx(2.0)
+
+    def test_zero_denominator_returns_default(self):
+        assert safe_ratio(5.0, 0.0) == 0.0
+        assert safe_ratio(5.0, 0) == 0.0
+        assert safe_ratio(5.0, 0.0, default=1.0) == 1.0
+
+
+class TestEmptyGraphDrain:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_drain_yields_zero_result(self, backend):
+        config = RuntimeConfig(num_threads=2, executor=backend)
+        executor = make_executor(config)
+        try:
+            runtime = TaskRuntime(executor=executor, config=config)
+            result = runtime.finish()
+            assert result.tasks_completed == 0
+            assert result.tasks_executed == 0
+            assert result.tasks_memoized == 0
+            assert result.reuse_fraction == 0.0
+        finally:
+            executor.close()
+
+    def test_zero_task_reuse_fraction_is_guarded(self):
+        assert RunResult().reuse_fraction == 0.0
+        populated = RunResult(tasks_completed=4, tasks_memoized=1)
+        assert populated.reuse_fraction == pytest.approx(0.25)
