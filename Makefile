@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures ci
+.PHONY: test bench bench-check bench-quick figures examples ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -24,7 +24,18 @@ bench-quick:
 figures:
 	$(PYTHON) -m pytest benchmarks -q
 
-# Mirror of .github/workflows/ci.yml: tier-1 suite, then perf gates.
+# API-facing docs can't rot: run the doctests of the public API modules and
+# execute all four examples serially at smoke scales.
+examples:
+	$(PYTHON) -m pytest --doctest-modules \
+		src/repro/runtime/api.py src/repro/session -q
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/heat_diffusion.py
+	$(PYTHON) examples/option_pricing.py tiny
+	$(PYTHON) examples/adaptive_approximation.py tiny
+
+# Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke, perf gates.
 ci:
 	$(PYTHON) -m pytest -x -q
+	$(MAKE) examples
 	$(PYTHON) scripts/bench.py --check

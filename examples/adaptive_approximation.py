@@ -10,9 +10,11 @@ distance computations visible.
 The example runs Kmeans under Static ATM and Dynamic ATM, prints the
 training decisions (how often the sampling fraction ``p`` was doubled, which
 ``p`` was frozen for the steady state), and compares reuse, speedup and
-accuracy — a miniature of the paper's Figures 3-5 for Kmeans.
+accuracy — a miniature of the paper's Figures 3-5 for Kmeans.  Both runs are
+assembled by :class:`repro.session.Session` from the spec's declarative
+:class:`~repro.session.ReproConfig` (``ExperimentSpec.to_config()``).
 
-Run with ``python examples/adaptive_approximation.py``.
+Run with ``python examples/adaptive_approximation.py [tiny|small]``.
 """
 
 from __future__ import annotations
@@ -35,9 +37,8 @@ def describe(result, label: str) -> None:
     print()
 
 
-def main() -> None:
-    scale = "small"
-    print("Kmeans clustering with approximate task memoization (8 simulated cores)")
+def main(scale: str = "small") -> None:
+    print(f"Kmeans clustering with approximate task memoization (scale={scale}, 8 simulated cores)")
     run_reference("kmeans", scale=scale, cores=8)
 
     static = run_benchmark(ExperimentSpec(benchmark="kmeans", scale=scale, mode="static", cores=8))
@@ -53,4 +54,6 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    import sys
+
+    main(sys.argv[1] if len(sys.argv) > 1 else "small")

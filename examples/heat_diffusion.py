@@ -9,7 +9,9 @@ that ATM turns into skipped executions.
 
 The example runs the solver with Static ATM on the simulator, prints the
 reuse found per task type, and renders a coarse ASCII execution trace in the
-style of the paper's Figure 7.
+style of the paper's Figure 7.  The :class:`ExperimentSpec` is a thin view
+over the Session API's :class:`~repro.session.ReproConfig`; every run below
+is assembled and executed by :class:`repro.session.Session`.
 
 Run with ``python examples/heat_diffusion.py``.
 """

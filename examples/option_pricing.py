@@ -11,7 +11,9 @@ machine:
   input-sampling fraction ``p``, paper Section III-D),
 
 and reports speedup, reuse and final correctness — a miniature of the
-paper's Figure 3 / Figure 4 columns for Blackscholes.
+paper's Figure 3 / Figure 4 columns for Blackscholes.  Each
+:class:`ExperimentSpec` lowers to a :class:`repro.session.ReproConfig`
+(``spec.to_config()``) and runs inside a :class:`repro.session.Session`.
 
 Run with ``python examples/option_pricing.py [tiny|small]``.
 """
@@ -26,6 +28,11 @@ from repro.evaluation.runner import ExperimentSpec, run_benchmark, run_reference
 def main(scale: str = "tiny") -> None:
     print(f"Blackscholes option pricing (scale={scale}, 8 simulated cores)")
     reference_output, baseline_elapsed = run_reference("blackscholes", scale=scale, cores=8)
+    # The flat spec and the Session config tree are two views of one run:
+    spec = ExperimentSpec(benchmark="blackscholes", scale=scale, mode="static", cores=8)
+    cfg = spec.to_config()
+    print(f"  session config         : executor={cfg.runtime.executor}, "
+          f"cores={cfg.runtime.num_threads}, atm.mode={cfg.atm.mode}")
     print(f"  baseline simulated time: {baseline_elapsed:.0f} us")
     print()
     print(f"  {'configuration':<14} {'speedup':>8} {'reuse %':>8} {'correctness %':>14} {'chosen p %':>11}")

@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
-"""Quickstart: memoize your own tasks with ATM.
+"""Quickstart: memoize your own tasks with ATM through the Session API.
 
 This example builds a tiny task-parallel program with the public API:
 
-1. declare a task type and mark it memoizable;
-2. submit tasks with ``In``/``Out`` data annotations (the Python analogue of
-   OmpSs pragma clauses);
+1. open a :class:`repro.session.Session` from a declarative
+   :class:`repro.session.ReproConfig` (backend and ATM policy are selected
+   by registry name — no engine/executor wiring);
+2. declare a task type with ``@s.task`` and ``In``/``Out`` parameter
+   annotations (the Python analogue of OmpSs pragma clauses);
 3. run it once without ATM and once with Static ATM on the discrete-event
    multicore simulator;
 4. print the reuse the Task History Table found and the resulting speedup.
@@ -17,42 +19,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import ATMConfig, ATMEngine, RuntimeConfig, StaticATMPolicy, TaskRuntime
-from repro.common.config import SimulationConfig
-from repro.runtime import In, Out, SimulatedExecutor
-from repro.runtime.task import TaskType
+from repro.session import In, Out, ReproConfig, Session
 
-# One annotated function = one task type.  `memoizable=True` is the opt-in
-# the paper requires from the programmer (Section III-E).
-matvec_type = TaskType(
-    "matvec",
-    memoizable=True,
-    cost_model=lambda task: 0.01 * task.input_bytes,  # simulated us
-)
-
-
-def matvec(matrix: np.ndarray, vector: np.ndarray, result: np.ndarray) -> None:
-    """The task body: an ordinary function over NumPy arrays."""
-    result[:] = matrix @ vector
-
-
-def build_program(runtime: TaskRuntime, matrices, vectors, results) -> None:
-    """Submit one task per (matrix, vector) pair.
-
-    The workload is intentionally redundant: many pairs are identical, which
-    is exactly the situation ATM exploits.
-    """
-    for matrix, vector, result in zip(matrices, vectors, results):
-        runtime.submit(
-            matvec_type,
-            matvec,
-            accesses=[In(matrix), In(vector), Out(result)],
-            args=(matrix, vector, result),
-        )
-    runtime.finish()
+#: One declarative config tree describes the whole run; ``atm.mode`` is
+#: swapped between "none" and "static" below.  The same tree could come from
+#: a TOML/JSON file (ReproConfig.from_file) or the environment (from_env).
+BASE_CONFIG = {
+    "runtime": {"executor": "simulated", "num_threads": 8},
+    "atm": {"mode": "none"},
+}
 
 
 def make_workload(n_tasks: int = 64, n_unique: int = 8, size: int = 128):
+    """An intentionally redundant workload: many identical (matrix, vector)
+    pairs — exactly the situation ATM exploits."""
     rng = np.random.default_rng(0)
     unique_matrices = [rng.standard_normal((size, size)) for _ in range(n_unique)]
     unique_vectors = [rng.standard_normal(size) for _ in range(n_unique)]
@@ -62,28 +42,31 @@ def make_workload(n_tasks: int = 64, n_unique: int = 8, size: int = 128):
     return matrices, vectors, results
 
 
-def run(with_atm: bool) -> tuple[float, list[np.ndarray], ATMEngine | None]:
+def run(mode: str):
+    """Run the program under one ATM mode; return (time, results, session)."""
     matrices, vectors, results = make_workload()
-    engine = None
-    if with_atm:
-        config = ATMConfig()
-        engine = ATMEngine(config=config, policy=StaticATMPolicy(config), num_threads=8)
-    executor = SimulatedExecutor(
-        config=RuntimeConfig(num_threads=8), engine=engine, sim_config=SimulationConfig()
-    )
-    runtime = TaskRuntime(executor=executor)
-    build_program(runtime, matrices, vectors, results)
-    return runtime.result.elapsed, results, engine
+    config = ReproConfig.from_dict(BASE_CONFIG).with_overrides(atm={"mode": mode})
+    with Session(config) as s:
+        # One annotated function = one task type.  `memoizable=True` is the
+        # opt-in the paper requires from the programmer (Section III-E); the
+        # In/Out annotations replace a separate accesses lambda.
+        @s.task(memoizable=True, cost_model=lambda task: 0.01 * task.input_bytes)
+        def matvec(matrix: In, vector: In, result: Out) -> None:
+            result[:] = matrix @ vector
+
+        for matrix, vector, result in zip(matrices, vectors, results):
+            matvec(matrix, vector, result)
+    return s.result.elapsed, results, s
 
 
 def main() -> None:
-    baseline_time, baseline_results, _ = run(with_atm=False)
-    atm_time, atm_results, engine = run(with_atm=True)
+    baseline_time, baseline_results, _ = run(mode="none")
+    atm_time, atm_results, session = run(mode="static")
 
     assert all(np.allclose(a, b) for a, b in zip(baseline_results, atm_results)), \
         "Static ATM must never change results"
 
-    stats = engine.stats.snapshot()
+    stats = session.stats
     print("Quickstart: task memoization with ATM")
     print(f"  simulated time without ATM : {baseline_time:10.1f} us")
     print(f"  simulated time with ATM    : {atm_time:10.1f} us")
@@ -91,7 +74,7 @@ def main() -> None:
     print(f"  tasks seen                 : {stats['tasks_seen']:10d}")
     print(f"  THT hits                   : {stats['tht_hits']:10d}")
     print(f"  IKT (in-flight) hits       : {stats['ikt_hits']:10d}")
-    print(f"  reuse                      : {engine.stats.reuse_percentage():10.1f} %")
+    print(f"  reuse                      : {session.engine.stats.reuse_percentage():10.1f} %")
     print("  results identical to the non-memoized run: yes")
 
 

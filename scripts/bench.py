@@ -4,7 +4,9 @@
 Runs the microbenchmark suite (keygen, THT probe, dependence analysis,
 simulator drain) plus a tiny-scale end-to-end figure run, and writes the
 machine-readable ``BENCH_<n>.json`` at the repo root so every PR has a perf
-trajectory to regress against.
+trajectory to regress against.  Every end-to-end and backend-comparison run
+is constructed through the Session API (``repro.session``) — the harness
+performs no executor/engine wiring of its own.
 
 Usage::
 
@@ -51,8 +53,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=2,
-        help="report generation number (default 2)",
+        "--bench-id", type=int, default=3,
+        help="report generation number (default 3)",
     )
     parser.add_argument(
         "--quick", action="store_true",

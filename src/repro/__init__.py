@@ -29,10 +29,18 @@ paper (Brumar et al., IPPS 2017):
 ``repro.evaluation``
     The experiment harness that regenerates every table and figure of the
     paper's evaluation section.
+
+``repro.session``
+    The public front door: :class:`~repro.session.Session` assembles engine,
+    policy, executor and graph from one declarative
+    :class:`~repro.session.ReproConfig` tree and exposes the ``@s.task``
+    programming model; pluggable name registries let new backends drop in
+    (DESIGN.md §6).
 """
 
 from repro._version import __version__
 from repro.runtime.api import TaskRuntime, task
+from repro.session import ReproConfig, Session
 from repro.atm.policy import (
     ATMMode,
     ATMPolicy,
@@ -46,6 +54,8 @@ from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
 
 __all__ = [
     "__version__",
+    "Session",
+    "ReproConfig",
     "TaskRuntime",
     "task",
     "ATMMode",

@@ -6,7 +6,7 @@ Every application in the suite provides:
   ``small`` for the default harness runs, ``paper`` for the original input
   sizes of Table I);
 * a :meth:`BenchmarkApp.build` method that submits all tasks of the program
-  into a :class:`~repro.runtime.api.TaskRuntime` (calling ``wait_all`` for the
+  into a :class:`~repro.session.Session` (calling ``wait_all`` for the
   program's natural barriers);
 * the final program output (:meth:`BenchmarkApp.output`) and a correctness
   metric against a reference output (Euclidean relative error by default, the
@@ -26,8 +26,8 @@ import numpy as np
 
 from repro.common.errors import correctness_percent, euclidean_relative_error
 from repro.common.exceptions import WorkloadError
-from repro.runtime.api import TaskRuntime
 from repro.runtime.task import TaskType
+from repro.session import Session
 
 __all__ = ["WorkloadScale", "BenchmarkInfo", "BenchmarkApp"]
 
@@ -83,15 +83,20 @@ class BenchmarkApp(abc.ABC):
         """Allocate and initialise the application data for ``self.scale``."""
 
     @abc.abstractmethod
-    def build(self, runtime: TaskRuntime) -> None:
-        """Submit every task of the program into ``runtime`` (with barriers)."""
+    def build(self, runtime: Session) -> None:
+        """Submit every task of the program into ``runtime`` (with barriers).
+
+        ``runtime`` is anything exposing the Session submission protocol
+        (``submit`` / ``wait_all`` / ``finish``) — a
+        :class:`~repro.session.Session` or the legacy ``TaskRuntime`` shim.
+        """
 
     @abc.abstractmethod
     def output(self) -> np.ndarray:
         """The program output on which correctness is measured (Table I)."""
 
     # -- common behaviour ----------------------------------------------------------
-    def run(self, runtime: TaskRuntime) -> None:
+    def run(self, runtime: Session) -> None:
         """Build and run the program to completion on ``runtime``."""
         self.build(runtime)
         runtime.finish()
@@ -101,22 +106,14 @@ class BenchmarkApp(abc.ABC):
         """Run the whole program on a named execution backend (DESIGN.md §4).
 
         Convenience wrapper used by the parity matrix and the perf harness:
-        builds the :class:`~repro.common.config.RuntimeConfig`, selects the
-        backend through :func:`repro.runtime.executor.make_executor`, runs to
-        completion (releasing the process backend's pool) and returns the
-        :class:`~repro.runtime.executor.RunResult`.
+        assembles a :class:`~repro.session.Session` for the named backend
+        (any registered executor), runs to completion — the session releases
+        the process backend's pool on success *and* error paths — and
+        returns the :class:`~repro.runtime.executor.RunResult`.
         """
-        from repro.common.config import RuntimeConfig
-        from repro.runtime.executor import make_executor
-
-        config = RuntimeConfig(num_threads=cores, executor=executor)
-        backend = make_executor(config, engine=engine)
-        try:
-            runtime = TaskRuntime(executor=backend, config=config)
-            self.run(runtime)
-        finally:
-            backend.close()
-        return backend.result()
+        with Session(executor=executor, cores=cores, engine=engine) as session:
+            self.run(session)
+        return session.result
 
     def relative_error(self, reference_output: np.ndarray) -> float:
         """Program-level relative error against a reference run (Eq. 3)."""

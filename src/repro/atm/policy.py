@@ -19,6 +19,7 @@ import enum
 from typing import Optional
 
 from repro.common.config import ATMConfig
+from repro.common.registry import POLICIES
 from repro.atm.adaptive import DynamicATMTrainer
 from repro.runtime.task import Task
 
@@ -140,22 +141,37 @@ class DynamicATMPolicy(ATMPolicy):
         return "dynamic"
 
 
+def _make_fixed_p(config: Optional[ATMConfig], p: Optional[float]) -> ATMPolicy:
+    if p is None:
+        raise ValueError("FIXED_P policy requires an explicit p")
+    return FixedPPolicy(p, config)
+
+
+# Builtin policies resolved by name through the policy registry; plugins add
+# their own with repro.session.register_policy(name, factory) and the name
+# becomes a valid ``ATMConfig.mode`` / ``Session(policy=...)`` value.
+POLICIES.register("none", lambda config, p: NoATMPolicy(config), replace=True)
+POLICIES.register("static", lambda config, p: StaticATMPolicy(config), replace=True)
+POLICIES.register("dynamic", lambda config, p: DynamicATMPolicy(config), replace=True)
+POLICIES.register("fixed_p", _make_fixed_p, replace=True)
+
+
 def make_policy(
     mode: ATMMode | str,
     config: Optional[ATMConfig] = None,
     p: Optional[float] = None,
 ) -> ATMPolicy:
-    """Factory used by the harness: build a policy from a mode name."""
-    if isinstance(mode, str):
-        mode = ATMMode(mode)
-    if mode == ATMMode.NONE:
-        return NoATMPolicy(config)
-    if mode == ATMMode.STATIC:
-        return StaticATMPolicy(config)
-    if mode == ATMMode.DYNAMIC:
-        return DynamicATMPolicy(config)
-    if mode == ATMMode.FIXED_P:
-        if p is None:
-            raise ValueError("FIXED_P policy requires an explicit p")
-        return FixedPPolicy(p, config)
-    raise ValueError(f"unknown ATM mode {mode!r}")
+    """Factory used by the harness: build a policy from a mode name.
+
+    Any name registered through :func:`repro.session.register_policy` is
+    accepted alongside the four builtin modes.
+    """
+    name = mode.value if isinstance(mode, ATMMode) else str(mode)
+    if name not in POLICIES:
+        raise ValueError(f"unknown ATM mode {name!r}")
+    policy = POLICIES.factory(name)(config, p)
+    # Record the registry identity on the instance: the process backend ships
+    # it to workers so they rebuild *this* policy, not whatever builtin the
+    # policy class happens to subclass.
+    policy.registry_name = name
+    return policy

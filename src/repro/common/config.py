@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.common.exceptions import ConfigurationError
+from repro.common.registry import EXECUTORS, POLICIES, SCHEDULERS
 
 __all__ = [
     "ATMConfig",
@@ -40,6 +41,12 @@ class ATMConfig:
 
     Attributes
     ----------
+    mode:
+        Operating policy name resolved through the policy registry
+        (:data:`repro.common.registry.POLICIES`): ``"none"`` (no engine is
+        installed), ``"static"``, ``"dynamic"``, ``"fixed_p"`` or any name a
+        plugin registered.  The Session API builds the policy and the engine
+        from this field; the engine itself never reads it.
     tht_bucket_bits:
         ``N``: the THT has ``2^N`` buckets.  The paper uses ``N = 8``.
     tht_bucket_capacity:
@@ -94,6 +101,7 @@ class ATMConfig:
         seed implementation exhibited for apps with many distinct sizes.
     """
 
+    mode: str = "none"
     tht_bucket_bits: int = 8
     tht_bucket_capacity: int = 128
     use_ikt: bool = True
@@ -115,6 +123,7 @@ class ATMConfig:
         self.validate()
 
     def validate(self) -> None:
+        POLICIES.validate_name(self.mode, field="mode")
         if self.tht_bucket_bits < 0 or self.tht_bucket_bits > 24:
             raise ConfigurationError(
                 f"tht_bucket_bits must be in [0, 24], got {self.tht_bucket_bits}"
@@ -210,10 +219,8 @@ class RuntimeConfig:
             raise ConfigurationError(
                 f"num_threads must be >= 1, got {self.num_threads}"
             )
-        if self.executor not in ("serial", "threaded", "process", "simulated"):
-            raise ConfigurationError(f"unknown executor {self.executor!r}")
-        if self.scheduler not in ("fifo", "lifo", "work_stealing"):
-            raise ConfigurationError(f"unknown scheduler {self.scheduler!r}")
+        EXECUTORS.validate_name(self.executor, field="executor")
+        SCHEDULERS.validate_name(self.scheduler, field="scheduler")
         if self.max_ready_tasks is not None and self.max_ready_tasks < 1:
             raise ConfigurationError("max_ready_tasks must be >= 1 or None")
         if self.mp_workers is not None and self.mp_workers < 1:

@@ -6,6 +6,13 @@ of simulated cores and the executor kind.  :func:`run_benchmark` executes it
 and returns an :class:`ExperimentResult` with the simulated (or wall-clock)
 time, the reuse statistics, the program correctness against a cached no-ATM
 reference run, the ATM memory overhead and, optionally, the execution trace.
+
+The spec is a thin *view* over the Session API's unified config tree: it
+adds the two experiment-only coordinates (``benchmark``, ``scale``) on top of
+a :class:`~repro.session.ReproConfig`, and :meth:`ExperimentSpec.to_config`
+is the bridge.  All execution goes through
+:class:`~repro.session.Session` — the runner performs no engine/executor
+wiring of its own.
 """
 
 from __future__ import annotations
@@ -17,13 +24,10 @@ import numpy as np
 
 from repro.apps import make_benchmark
 from repro.apps.base import BenchmarkApp, WorkloadScale
-from repro.atm.engine import ATMEngine
-from repro.atm.policy import ATMMode, make_policy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
-from repro.common.exceptions import EvaluationError
-from repro.runtime.api import TaskRuntime
-from repro.runtime.executor import make_executor
+from repro.common.exceptions import ConfigurationError, EvaluationError
 from repro.runtime.trace import TraceRecorder
+from repro.session import ReproConfig, Session
 
 __all__ = [
     "ExperimentSpec",
@@ -36,22 +40,77 @@ __all__ = [
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """One benchmark execution under one ATM configuration."""
+    """One benchmark execution under one ATM configuration.
+
+    A flat, hashable view over :class:`~repro.session.ReproConfig` plus the
+    experiment coordinates (benchmark, scale); figure generators sweep these
+    specs and :func:`run_benchmark` lowers each one to a Session run.
+    """
 
     benchmark: str
     scale: str = "small"
-    mode: str = "none"              # none | static | dynamic | fixed_p
+    mode: str = "none"              # any registered policy name
     p: Optional[float] = None        # required for fixed_p
     cores: int = 8
     use_ikt: bool = True
     tht_bucket_bits: int = 8
     tht_bucket_capacity: int = 128
-    executor: str = "simulated"      # simulated | serial | threaded | process
+    executor: str = "simulated"      # any registered executor name
     enable_tracing: bool = False
     seed: int = 2017
 
     def atm_enabled(self) -> bool:
         return self.mode != "none"
+
+    def to_config(self) -> ReproConfig:
+        """Lower this spec to the unified Session config tree."""
+        if self.mode == "fixed_p" and self.p is None:
+            raise EvaluationError("fixed_p experiments require an explicit p")
+        try:
+            return ReproConfig(
+                runtime=RuntimeConfig(
+                    num_threads=self.cores,
+                    executor=self.executor,
+                    enable_tracing=self.enable_tracing,
+                    seed=self.seed,
+                ),
+                atm=ATMConfig(
+                    mode=self.mode,
+                    p=self.p if self.p is not None else 1.0,
+                    use_ikt=self.use_ikt,
+                    tht_bucket_bits=self.tht_bucket_bits,
+                    tht_bucket_capacity=self.tht_bucket_capacity,
+                ),
+                simulation=SimulationConfig(),
+            )
+        except ConfigurationError as exc:
+            raise EvaluationError(f"invalid experiment spec: {exc}") from exc
+
+    @classmethod
+    def from_config(
+        cls, config: ReproConfig, benchmark: str, scale: str = "small", **extra
+    ) -> "ExperimentSpec":
+        """Project a Session config tree back onto the flat spec view.
+
+        Inverse of :meth:`to_config` up to ``p``-canonicalisation: the tree
+        stores the effective sampling fraction, so ``p`` is reconstructed
+        only for ``fixed_p`` specs (the other modes ignore it and keep the
+        spec default ``None``).
+        """
+        return cls(
+            benchmark=benchmark,
+            scale=scale,
+            mode=config.atm.mode,
+            p=config.atm.p if config.atm.mode == "fixed_p" else None,
+            cores=config.runtime.num_threads,
+            use_ikt=config.atm.use_ikt,
+            tht_bucket_bits=config.atm.tht_bucket_bits,
+            tht_bucket_capacity=config.atm.tht_bucket_capacity,
+            executor=config.runtime.executor,
+            enable_tracing=config.runtime.enable_tracing,
+            seed=config.runtime.seed,
+            **extra,
+        )
 
 
 @dataclass
@@ -94,31 +153,6 @@ def clear_reference_cache() -> None:
     _REFERENCE_CACHE.clear()
 
 
-def _make_executor(spec: ExperimentSpec, engine: Optional[ATMEngine]):
-    if spec.executor not in ("simulated", "serial", "threaded", "process"):
-        raise EvaluationError(f"unknown executor {spec.executor!r}")
-    cores = 1 if spec.executor == "serial" else spec.cores
-    runtime_config = RuntimeConfig(
-        num_threads=cores,
-        executor=spec.executor,
-        enable_tracing=spec.enable_tracing,
-    )
-    sim_config = SimulationConfig() if spec.executor == "simulated" else None
-    return make_executor(runtime_config, engine=engine, sim_config=sim_config)
-
-
-def _make_engine(spec: ExperimentSpec) -> Optional[ATMEngine]:
-    if not spec.atm_enabled():
-        return None
-    config = ATMConfig(
-        tht_bucket_bits=spec.tht_bucket_bits,
-        tht_bucket_capacity=spec.tht_bucket_capacity,
-        use_ikt=spec.use_ikt,
-    )
-    policy = make_policy(ATMMode(spec.mode), config, p=spec.p)
-    return ATMEngine(config=config, policy=policy, num_threads=spec.cores)
-
-
 def run_reference(
     benchmark: str,
     scale: str = "small",
@@ -154,11 +188,10 @@ def _run(
     reference: Optional[tuple[np.ndarray, float]],
 ) -> ExperimentResult:
     app = make_benchmark(spec.benchmark, scale=WorkloadScale.coerce(spec.scale), seed=spec.seed)
-    engine = _make_engine(spec)
-    executor = _make_executor(spec, engine)
-    runtime = TaskRuntime(executor=executor)
-    app.run(runtime)
-    run_result = executor.result()
+    with Session(spec.to_config()) as session:
+        app.run(session)
+        run_result = session.result
+    engine = session.engine
     output = app.output()
 
     if reference is None:

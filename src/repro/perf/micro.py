@@ -14,6 +14,12 @@ Four operation families dominate a run (see PERFORMANCE.md):
 
 All timings are wall-clock microseconds per operation, medians over several
 repeats, measured with everything functional (real NumPy data, real locks).
+
+Unlike the end-to-end suites (:mod:`repro.perf.endtoend`,
+:mod:`repro.perf.process_backend`), which construct their runs through the
+Session API, these benchmarks deliberately instantiate runtime internals
+(graph, executor, keygen) directly: they time single components below the
+public facade.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from repro.runtime.executor import (
     RunResult,
     SerialExecutor,
     ThreadedExecutor,
+    build_executor,
     make_executor,
 )
 from repro.runtime.simulator import SimulatedExecutor
@@ -51,5 +52,6 @@ __all__ = [
     "ThreadedExecutor",
     "SimulatedExecutor",
     "ProcessExecutor",
+    "build_executor",
     "make_executor",
 ]

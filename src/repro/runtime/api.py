@@ -1,74 +1,120 @@
-"""User-facing runtime API.
+"""Legacy user-facing runtime API — superseded by :mod:`repro.session`.
 
 Programs are written the way OmpSs programs are: functions are annotated as
 task types, invocations declare their data accesses, and a barrier
-(``wait_all``) synchronises the master with the workers.
+(``wait_all``) synchronises the master with the workers.  The stable,
+declarative entry point for all of this is the **Session API**:
 
-Example
--------
 >>> import numpy as np
->>> from repro.runtime import TaskRuntime, In, Out
->>> from repro.runtime.task import TaskType
->>>
->>> rt = TaskRuntime()
->>> saxpy = TaskType("saxpy", memoizable=True)
->>> x = np.arange(4, dtype=np.float64); y = np.zeros(4)
->>> def body(xv, yv, a):
-...     yv[:] = a * xv
->>> _ = rt.submit(saxpy, body, accesses=[In(x), Out(y)], args=(x, y, 2.0))
->>> _ = rt.wait_all()
+>>> from repro.session import Session, In, Out
+>>> with Session(executor="serial") as s:
+...     @s.task(memoizable=True)
+...     def saxpy(x: In, y: Out, a):
+...         y[:] = a * x
+...     x = np.arange(4, dtype=np.float64); y = np.zeros(4)
+...     _ = saxpy(x, y, 2.0)
+...     result = s.wait_all()
 >>> y.tolist()
 [0.0, 2.0, 4.0, 6.0]
+>>> result.tasks_completed
+1
+
+A :class:`~repro.session.Session` assembles the memoization engine, the
+execution backend (by registry name: ``executor="process"``,
+``policy="dynamic"``) and the dependence graph from one
+:class:`~repro.session.ReproConfig` tree; see DESIGN.md §6 for the full
+lifecycle and the registry extension points.
+
+This module keeps the original surface alive as thin deprecation shims:
+
+* :class:`TaskRuntime` — the pre-Session runtime handle.  Constructing one
+  emits a :class:`DeprecationWarning` and delegates every operation to an
+  internally held Session.
+* :func:`task` — the module-level decorator that needed a separate
+  ``accesses_fn`` lambda.  Session's ``@s.task`` infers accesses from
+  parameter annotations instead.
+
+Both shims will be removed once nothing in-tree constructs them; new code
+must use :mod:`repro.session`.
 """
 
 from __future__ import annotations
 
 import functools
+import warnings
 from typing import Callable, Optional, Sequence
 
 from repro.common.config import RuntimeConfig
-from repro.common.exceptions import RuntimeStateError
-from repro.runtime.atm_protocol import MemoizationEngineProtocol
 from repro.runtime.data import DataAccess
-from repro.runtime.executor import BaseExecutor, RunResult, SerialExecutor
-from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.executor import BaseExecutor, RunResult
 from repro.runtime.task import Task, TaskType
 
 __all__ = ["TaskRuntime", "task"]
 
 
-class TaskRuntime:
-    """The runtime a program instantiates to submit and run tasks.
+def _deprecated(what: str, instead: str) -> None:
+    warnings.warn(
+        f"{what} is deprecated; use {instead} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    Parameters
-    ----------
-    executor:
-        Any :class:`BaseExecutor` (serial, threaded or simulated).  Defaults
-        to a fresh :class:`SerialExecutor`.
-    engine:
-        Optional memoization engine; if the executor was constructed without
-        one, passing it here installs it.
-    config:
-        Runtime configuration used when a default executor must be created.
+
+class TaskRuntime:
+    """Deprecated pre-Session runtime handle (thin shim).
+
+    .. deprecated::
+        Use :class:`repro.session.Session`.  The shim preserves the original
+        constructor (``executor`` instance, optional ``engine``, optional
+        :class:`RuntimeConfig`) and delegates to a Session, so the new
+        lifecycle guarantees — executor teardown on error paths,
+        :class:`~repro.common.exceptions.RuntimeStateError` on
+        ``result``-before-barrier — apply here too.
     """
 
     def __init__(
         self,
         executor: Optional[BaseExecutor] = None,
-        engine: Optional[MemoizationEngineProtocol] = None,
+        engine=None,
         config: Optional[RuntimeConfig] = None,
     ) -> None:
-        self.config = config or RuntimeConfig(num_threads=1)
-        if executor is None:
-            executor = SerialExecutor(config=self.config, engine=engine)
-        elif engine is not None and executor.engine is None:
-            executor.engine = engine
-        self.executor = executor
-        self.graph = TaskDependenceGraph(on_ready=self.executor.notify_ready)
-        self._closed = False
-        self._submitted = 0
+        _deprecated("TaskRuntime", "repro.session.Session")
+        from repro.runtime.executor import SerialExecutor
+        from repro.session.config import ReproConfig
+        from repro.session.session import Session
 
-    # -- program construction --------------------------------------------------
+        # Historical constructor semantics, which the stricter Session
+        # constructor would otherwise change: with no executor a
+        # SerialExecutor is always built (config.executor was never
+        # consulted), and an engine argument is silently dropped when the
+        # executor already carries one.
+        config = config or RuntimeConfig(num_threads=1)
+        if executor is None:
+            executor = SerialExecutor(config=config, engine=engine)
+        if executor.engine is not None:
+            engine = None
+        self._session = Session(
+            ReproConfig(runtime=config), executor=executor, engine=engine
+        )
+
+    # -- delegation --------------------------------------------------------------
+    @property
+    def session(self):
+        """The Session this shim delegates to (migration escape hatch)."""
+        return self._session
+
+    @property
+    def config(self) -> RuntimeConfig:
+        return self._session.config.runtime
+
+    @property
+    def executor(self) -> BaseExecutor:
+        return self._session.executor
+
+    @property
+    def graph(self):
+        return self._session.graph
+
     def submit(
         self,
         task_type: TaskType,
@@ -78,81 +124,50 @@ class TaskRuntime:
         kwargs: Optional[dict] = None,
     ) -> Task:
         """Create a task and hand it to the dependence system."""
-        if self._closed:
-            raise RuntimeStateError("runtime already finished")
-        task = Task(
-            task_type=task_type,
-            function=function,
-            accesses=list(accesses),
-            args=tuple(args),
-            kwargs=dict(kwargs or {}),
-            task_id=self._submitted,
+        return self._session.submit(
+            task_type, function, accesses=accesses, args=args, kwargs=kwargs
         )
-        self._submitted += 1
-        self.graph.add_task(task)
-        return task
 
     def wait_all(self) -> RunResult:
         """Barrier: run every submitted task to completion (``taskwait``)."""
-        if self._closed:
-            raise RuntimeStateError("runtime already finished")
-        return self.executor.drain(self.graph)
+        return self._session.wait_all()
 
     def finish(self) -> RunResult:
-        """Final barrier; afterwards the runtime rejects new submissions.
+        """Final barrier; afterwards the runtime rejects new submissions."""
+        return self._session.finish()
 
-        Also releases executor-held resources (the process backend's worker
-        pool and shared-memory segments); the returned result stays valid.
-        """
-        result = self.wait_all()
-        self._closed = True
-        self.executor.close()
-        return result
-
-    # -- introspection -----------------------------------------------------------
     @property
     def task_count(self) -> int:
-        return self.graph.task_count
+        return self._session.task_count
 
     @property
     def result(self) -> RunResult:
-        return self.executor.result()
+        return self._session.result
 
     def __enter__(self) -> "TaskRuntime":
+        self._session.__enter__()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None and not self._closed:
-            self.finish()
+        self._session.__exit__(exc_type, exc, tb)
 
 
 def task(
     task_type: TaskType,
     accesses_fn: Callable[..., Sequence[DataAccess]],
 ) -> Callable[[Callable], Callable]:
-    """Decorator turning a function into a task-submitting stub.
+    """Deprecated decorator turning a function into a task-submitting stub.
+
+    .. deprecated::
+        Use ``@session.task(...)`` with ``In``/``Out``/``InOut`` parameter
+        annotations — no separate ``accesses_fn`` lambda needed.
 
     ``accesses_fn`` receives the same arguments as the decorated function and
-    returns the list of data accesses to declare — the Python analogue of the
-    ``depend(in: ..., out: ...)`` clauses of an OmpSs pragma.  The decorated
-    function gains a ``runtime`` keyword argument; when provided, calling it
-    submits a task instead of executing immediately.
-
-    >>> import numpy as np
-    >>> from repro.runtime import In, Out, TaskRuntime
-    >>> from repro.runtime.task import TaskType
-    >>> tt = TaskType("double_it", memoizable=True)
-    >>> @task(tt, lambda src, dst: [In(src), Out(dst)])
-    ... def double_it(src, dst):
-    ...     dst[:] = 2 * src
-    >>> rt = TaskRuntime()
-    >>> a, b = np.ones(3), np.zeros(3)
-    >>> double_it(a, b, runtime=rt)        # doctest: +ELLIPSIS
-    Task(...)
-    >>> _ = rt.wait_all()
-    >>> b.tolist()
-    [2.0, 2.0, 2.0]
+    returns the list of data accesses to declare.  The decorated function
+    gains a ``runtime`` keyword argument; when provided, calling it submits a
+    task instead of executing immediately.
     """
+    _deprecated("the module-level task() decorator", "@Session.task")
 
     def decorator(function: Callable) -> Callable:
         @functools.wraps(function)

@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.config import RuntimeConfig
 from repro.common.exceptions import RuntimeStateError
+from repro.common.registry import EXECUTORS
 from repro.runtime.atm_protocol import (
     ATMAction,
     ATMDecision,
@@ -42,6 +44,7 @@ __all__ = [
     "BaseExecutor",
     "SerialExecutor",
     "ThreadedExecutor",
+    "build_executor",
     "make_executor",
 ]
 
@@ -312,30 +315,71 @@ class ThreadedExecutor(BaseExecutor):
         self.trace.sample_ready(now(), self.scheduler.pending())
 
 
+# -- backend registry ------------------------------------------------------------
+# Builtin factories resolved by name through the executor registry (DESIGN.md
+# §4).  ``"process"`` and ``"simulated"`` import their modules lazily to keep
+# the module dependency graph acyclic; plugin backends (e.g. a network
+# transport on the mp_executor seam) are added with
+# repro.session.register_executor(name, factory) and become valid
+# ``RuntimeConfig.executor`` values automatically.
+
+
+def _make_process(config, engine, sim_config):
+    from repro.runtime.mp_executor import ProcessExecutor
+
+    return ProcessExecutor(config=config, engine=engine)
+
+
+def _make_simulated(config, engine, sim_config):
+    from repro.runtime.simulator import SimulatedExecutor
+
+    return SimulatedExecutor(config=config, engine=engine, sim_config=sim_config)
+
+
+EXECUTORS.register(
+    "serial",
+    lambda config, engine, sim_config: SerialExecutor(config=config, engine=engine),
+    replace=True,
+)
+EXECUTORS.register(
+    "threaded",
+    lambda config, engine, sim_config: ThreadedExecutor(config=config, engine=engine),
+    replace=True,
+)
+EXECUTORS.register("process", _make_process, replace=True)
+EXECUTORS.register("simulated", _make_simulated, replace=True)
+
+
+def build_executor(
+    config: Optional[RuntimeConfig] = None,
+    engine: Optional[MemoizationEngineProtocol] = None,
+    sim_config=None,
+) -> BaseExecutor:
+    """Build the executor named by ``config.executor`` via the registry.
+
+    This is the assembly path used by :class:`repro.session.Session`; user
+    code should go through the Session API rather than call it directly.
+    """
+    config = config or RuntimeConfig()
+    factory = EXECUTORS.factory(config.executor)
+    return factory(config, engine, sim_config)
+
+
 def make_executor(
     config: Optional[RuntimeConfig] = None,
     engine: Optional[MemoizationEngineProtocol] = None,
     sim_config=None,
 ) -> BaseExecutor:
-    """Build the executor named by ``config.executor`` (DESIGN.md §4).
+    """Deprecated alias of the registry-backed executor assembly.
 
-    ``"serial"`` and ``"threaded"`` come from this module; ``"process"``
-    (:class:`repro.runtime.mp_executor.ProcessExecutor`) and ``"simulated"``
-    (:class:`repro.runtime.simulator.SimulatedExecutor`) are imported lazily
-    to keep the module dependency graph acyclic.
+    .. deprecated::
+        Construct runs through :class:`repro.session.Session` (or register
+        custom backends with :func:`repro.session.register_executor`).
     """
-    config = config or RuntimeConfig()
-    name = config.executor
-    if name == "serial":
-        return SerialExecutor(config=config, engine=engine)
-    if name == "threaded":
-        return ThreadedExecutor(config=config, engine=engine)
-    if name == "process":
-        from repro.runtime.mp_executor import ProcessExecutor
-
-        return ProcessExecutor(config=config, engine=engine)
-    if name == "simulated":
-        from repro.runtime.simulator import SimulatedExecutor
-
-        return SimulatedExecutor(config=config, engine=engine, sim_config=sim_config)
-    raise RuntimeStateError(f"unknown executor backend {name!r}")  # pragma: no cover
+    warnings.warn(
+        "make_executor() is deprecated; construct runs through "
+        "repro.session.Session (executor=<name>) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_executor(config=config, engine=engine, sim_config=sim_config)

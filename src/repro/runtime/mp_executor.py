@@ -122,12 +122,12 @@ def _build_worker_engine(spec: Optional[_EngineSpec]):
     if spec is None:
         return None
     from repro.atm.engine import ATMEngine
-    from repro.atm.policy import ATMMode, make_policy
+    from repro.atm.policy import make_policy
 
     # One task at a time per worker: an in-flight twin cannot exist inside a
     # worker, so the IKT would only ever miss (see module docstring).
     config = spec.config.with_overrides(use_ikt=False)
-    policy = make_policy(ATMMode(spec.mode), config, p=spec.p)
+    policy = make_policy(spec.mode, config, p=spec.p)
     engine = ATMEngine(config=config, policy=policy, num_threads=1)
     engine.enable_delta_snapshots()
     return engine
@@ -341,9 +341,14 @@ class ProcessExecutor(BaseExecutor):
                 "(with .policy and .config) or engine=None; custom in-process "
                 "engines cannot be replicated into worker processes"
             )
-        return _EngineSpec(
-            mode=policy.mode.value, config=policy.config, p=policy.config.p
-        )
+        # Policies built through the registry carry their registered name —
+        # the faithful recipe for plugin policies, whose class-level ``mode``
+        # attribute is whatever builtin they subclass.  Hand-assembled policy
+        # instances fall back to that class attribute.  Plugin policies
+        # require a fork start method (the child inherits the parent's
+        # registrations) or the plugin module to be imported in workers.
+        mode = getattr(policy, "registry_name", None) or policy.mode.value
+        return _EngineSpec(mode=mode, config=policy.config, p=policy.config.p)
 
     def _ensure_workers(self) -> None:
         if self._closed:

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.common.config import RuntimeConfig
-from repro.common.exceptions import SchedulerError
+from repro.common.exceptions import ConfigurationError, SchedulerError
+from repro.common.registry import SCHEDULERS
 from repro.runtime.ready_queue import (
     FIFOReadyQueue,
     LIFOReadyQueue,
@@ -45,12 +46,25 @@ class Scheduler:
         return self._queue.stats
 
 
+# Builtin factories, resolved by name through the scheduler registry; plugins
+# add their own with repro.session.register_scheduler(name, factory).
+SCHEDULERS.register(
+    "fifo", lambda config: Scheduler(FIFOReadyQueue()), replace=True
+)
+SCHEDULERS.register(
+    "lifo", lambda config: Scheduler(LIFOReadyQueue()), replace=True
+)
+SCHEDULERS.register(
+    "work_stealing",
+    lambda config: Scheduler(WorkStealingDeques(config.num_threads, seed=config.seed)),
+    replace=True,
+)
+
+
 def make_scheduler(config: RuntimeConfig) -> Scheduler:
-    """Build the scheduler named by ``config.scheduler``."""
-    if config.scheduler == "fifo":
-        return Scheduler(FIFOReadyQueue())
-    if config.scheduler == "lifo":
-        return Scheduler(LIFOReadyQueue())
-    if config.scheduler == "work_stealing":
-        return Scheduler(WorkStealingDeques(config.num_threads, seed=config.seed))
-    raise SchedulerError(f"unknown scheduler {config.scheduler!r}")
+    """Build the scheduler named by ``config.scheduler`` (registry lookup)."""
+    try:
+        factory = SCHEDULERS.factory(config.scheduler)
+    except ConfigurationError as exc:
+        raise SchedulerError(str(exc)) from exc
+    return factory(config)

@@ -1,0 +1,300 @@
+"""The unified, declarative configuration tree of the Session API.
+
+A :class:`ReproConfig` aggregates the three leaf configuration dataclasses —
+:class:`~repro.common.config.RuntimeConfig` (``runtime``),
+:class:`~repro.common.config.ATMConfig` (``atm``) and
+:class:`~repro.common.config.SimulationConfig` (``simulation``) — into one
+tree that fully describes a run: which backend, how many workers, which ATM
+policy with which knobs, and the simulated-machine cost model.
+
+The tree round-trips losslessly through three exchange formats:
+
+* **dict**  — ``ReproConfig.from_dict(cfg.to_dict()) == cfg``;
+* **file**  — TOML (read via :mod:`tomllib`) and JSON, dispatched on the
+  file suffix: ``ReproConfig.from_file("run.toml")`` /
+  ``cfg.to_file("run.json")``;
+* **env**   — flat ``REPRO_<SECTION>_<FIELD>`` variables:
+  ``ReproConfig.from_env(cfg.to_env()) == cfg``, and
+  ``ReproConfig.from_env()`` reads ``os.environ`` so deployments can
+  override any knob without touching code.
+
+Unknown sections or fields raise
+:class:`~repro.common.exceptions.ConfigurationError` naming the offending
+field; value errors surface from the leaf dataclasses' own ``validate``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import typing
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
+from repro.common.exceptions import ConfigurationError
+
+__all__ = ["ReproConfig", "ENV_PREFIX"]
+
+#: Default prefix of the flat environment-variable encoding.
+ENV_PREFIX = "REPRO_"
+
+_SECTION_TYPES: dict[str, type] = {
+    "runtime": RuntimeConfig,
+    "atm": ATMConfig,
+    "simulation": SimulationConfig,
+}
+
+
+def _type_hints(cls: type) -> dict[str, Any]:
+    """Resolved field type hints (the dataclasses use string annotations)."""
+    return typing.get_type_hints(cls)
+
+
+def _unwrap_optional(hint: Any) -> tuple[Any, bool]:
+    """Return ``(inner_type, is_optional)`` for ``Optional[X]`` hints."""
+    if typing.get_origin(hint) is typing.Union:
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        if len(args) == 1:
+            return args[0], True
+    return hint, False
+
+
+def _coerce_env_value(raw: str, hint: Any, field_name: str) -> Any:
+    """Parse one environment-variable string according to the field type."""
+    inner, optional = _unwrap_optional(hint)
+    text = raw.strip()
+    if optional and text.lower() in ("", "none", "null"):
+        return None
+    try:
+        if inner is bool:
+            lowered = text.lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"not a boolean: {text!r}")
+        if inner is int:
+            return int(text)
+        if inner is float:
+            return float(text)
+        return text
+    except ValueError as exc:
+        raise ConfigurationError(f"{field_name}: cannot parse {raw!r}: {exc}") from exc
+
+
+def _build_section(section: str, data: Mapping[str, Any]) -> Any:
+    """Instantiate one leaf config from a mapping, naming bad fields."""
+    cls = _SECTION_TYPES[section]
+    if not isinstance(data, Mapping):
+        raise ConfigurationError(
+            f"{section}: expected a mapping of fields, got {type(data).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(cls)}
+    for name in data:
+        if name not in known:
+            raise ConfigurationError(
+                f"{section}.{name} is not a recognised {cls.__name__} field"
+            )
+    try:
+        return cls(**dict(data))
+    except TypeError as exc:
+        raise ConfigurationError(f"{section}: {exc}") from exc
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    raise ConfigurationError(f"cannot serialise {value!r} to TOML")
+
+
+@dataclass
+class ReproConfig:
+    """One declarative description of a whole run (see module docstring)."""
+
+    runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
+    atm: ATMConfig = field(default_factory=ATMConfig)
+    simulation: SimulationConfig = field(default_factory=SimulationConfig)
+
+    # -- dict ----------------------------------------------------------------------
+    def to_dict(self) -> dict[str, dict[str, Any]]:
+        """Nested plain-dict form (sections of scalar fields)."""
+        return {
+            section: dataclasses.asdict(getattr(self, section))
+            for section in _SECTION_TYPES
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ReproConfig":
+        """Build from a (possibly partial) nested dict; unknown keys raise."""
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"config root must be a mapping, got {type(data).__name__}"
+            )
+        for section in data:
+            if section not in _SECTION_TYPES:
+                raise ConfigurationError(
+                    f"unknown config section {section!r}; "
+                    f"expected one of: {', '.join(_SECTION_TYPES)}"
+                )
+        return cls(
+            **{
+                section: _build_section(section, data.get(section, {}))
+                for section in _SECTION_TYPES
+            }
+        )
+
+    # -- file ----------------------------------------------------------------------
+    @classmethod
+    def from_file(cls, path: "str | Path") -> "ReproConfig":
+        """Load a TOML or JSON config file (dispatched on the suffix)."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        if suffix == ".toml":
+            import tomllib
+
+            try:
+                data = tomllib.loads(path.read_text())
+            except tomllib.TOMLDecodeError as exc:
+                raise ConfigurationError(f"{path}: invalid TOML: {exc}") from exc
+        elif suffix == ".json":
+            try:
+                data = json.loads(path.read_text())
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(f"{path}: invalid JSON: {exc}") from exc
+        else:
+            raise ConfigurationError(
+                f"{path}: unsupported config format {suffix!r} (use .toml or .json)"
+            )
+        return cls.from_dict(data)
+
+    def to_file(self, path: "str | Path") -> Path:
+        """Write the config as TOML or JSON (dispatched on the suffix).
+
+        ``None`` fields are omitted from TOML (it has no null); loading the
+        file back restores them to their defaults, which — because only
+        Optional-typed fields can hold ``None`` and their defaults are
+        ``None`` — round-trips exactly.
+        """
+        path = Path(path)
+        suffix = path.suffix.lower()
+        data = self.to_dict()
+        if suffix == ".toml":
+            lines: list[str] = []
+            for section, values in data.items():
+                lines.append(f"[{section}]")
+                for name, value in values.items():
+                    if value is None:
+                        continue
+                    lines.append(f"{name} = {_toml_scalar(value)}")
+                lines.append("")
+            path.write_text("\n".join(lines))
+        elif suffix == ".json":
+            path.write_text(json.dumps(data, indent=2) + "\n")
+        else:
+            raise ConfigurationError(
+                f"{path}: unsupported config format {suffix!r} (use .toml or .json)"
+            )
+        return path
+
+    # -- environment ------------------------------------------------------------------
+    def to_env(self, prefix: str = ENV_PREFIX) -> dict[str, str]:
+        """Flat ``PREFIX_SECTION_FIELD -> str`` encoding (``None`` omitted)."""
+        env: dict[str, str] = {}
+        for section, values in self.to_dict().items():
+            for name, value in values.items():
+                if value is None:
+                    continue
+                key = f"{prefix}{section}_{name}".upper()
+                env[key] = str(value)
+        return env
+
+    @classmethod
+    def from_env(
+        cls,
+        env: Optional[Mapping[str, str]] = None,
+        prefix: str = ENV_PREFIX,
+        base: Optional["ReproConfig"] = None,
+    ) -> "ReproConfig":
+        """Build from flat environment variables, over ``base``'s values.
+
+        Reads ``os.environ`` when ``env`` is not given.  Unrecognised
+        ``PREFIX``-prefixed keys raise, so typos never silently no-op.
+        """
+        if env is None:
+            env = os.environ
+        base = base or cls()
+        overrides: dict[str, dict[str, Any]] = {s: {} for s in _SECTION_TYPES}
+        hints = {s: _type_hints(t) for s, t in _SECTION_TYPES.items()}
+        fields_upper = {
+            section: {f.name.upper(): f.name for f in dataclasses.fields(t)}
+            for section, t in _SECTION_TYPES.items()
+        }
+        for key, raw in env.items():
+            if not key.startswith(prefix):
+                continue
+            remainder = key[len(prefix):]
+            for section in _SECTION_TYPES:
+                marker = section.upper() + "_"
+                if remainder.startswith(marker):
+                    field_upper = remainder[len(marker):]
+                    field_name = fields_upper[section].get(field_upper)
+                    if field_name is None:
+                        raise ConfigurationError(
+                            f"{key}: {section}.{field_upper.lower()} is not a "
+                            f"recognised {_SECTION_TYPES[section].__name__} field"
+                        )
+                    overrides[section][field_name] = _coerce_env_value(
+                        raw, hints[section][field_name], f"{section}.{field_name}"
+                    )
+                    break
+            else:
+                raise ConfigurationError(
+                    f"{key}: unknown config section (expected "
+                    f"{', '.join(prefix + s.upper() for s in _SECTION_TYPES)}...)"
+                )
+        merged = base.to_dict()
+        for section, values in overrides.items():
+            merged[section].update(values)
+        return cls.from_dict(merged)
+
+    # -- convenience --------------------------------------------------------------------
+    def with_overrides(self, **sections: Mapping[str, Any]) -> "ReproConfig":
+        """Copy with per-section field overrides.
+
+        >>> cfg = ReproConfig().with_overrides(runtime={"num_threads": 2})
+        >>> cfg.runtime.num_threads
+        2
+        """
+        merged = self.to_dict()
+        for section, values in sections.items():
+            if section not in _SECTION_TYPES:
+                raise ConfigurationError(
+                    f"unknown config section {section!r}; "
+                    f"expected one of: {', '.join(_SECTION_TYPES)}"
+                )
+            merged[section].update(values)
+        return type(self).from_dict(merged)
+
+    @classmethod
+    def coerce(
+        cls, source: "ReproConfig | Mapping | str | Path | None"
+    ) -> "ReproConfig":
+        """Accept a config tree, nested dict, file path or ``None``."""
+        if source is None:
+            return cls()
+        if isinstance(source, cls):
+            return source
+        if isinstance(source, Mapping):
+            return cls.from_dict(source)
+        if isinstance(source, (str, Path)):
+            return cls.from_file(source)
+        raise ConfigurationError(
+            f"cannot build a ReproConfig from {type(source).__name__}"
+        )

@@ -1,0 +1,531 @@
+"""The Session facade: one declarative entry point for a whole run.
+
+A :class:`Session` owns the assembly of every moving part the paper's
+programming model assumes — the memoization engine (policy + THT + IKT), the
+execution backend, the ready-queue scheduler and the task dependence graph —
+from a single :class:`~repro.session.config.ReproConfig` tree, and exposes
+the OmpSs-style task-declaration surface on top:
+
+>>> import numpy as np
+>>> from repro.session import Session, In, Out
+>>> with Session(executor="serial") as s:
+...     @s.task(memoizable=True)
+...     def saxpy(x: In, y: Out, a):
+...         y[:] = a * x
+...     x = np.arange(4, dtype=np.float64); y = np.zeros(4)
+...     _ = saxpy(x, y, 2.0)
+...     _ = s.wait_all()
+>>> y.tolist()
+[0.0, 2.0, 4.0, 6.0]
+
+Data accesses are declared either by annotating parameters with ``In`` /
+``Out`` / ``InOut`` (as above) or explicitly by parameter name
+(``@s.task(ins=("x",), outs=("y",))``); the runtime derives the dependence
+edges and the ATM engine derives the hash-key inputs from the same
+declaration, exactly like an OmpSs ``depend`` clause.  Backends, schedulers
+and ATM policies are selected by registry name (``executor="process"``,
+``policy="dynamic"``), so plugged-in backends work here without changes
+(:mod:`repro.session.registry`).
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import pickle
+import sys
+from pathlib import Path
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import (
+    ConfigurationError,
+    RuntimeStateError,
+    TaskDefinitionError,
+)
+from repro.runtime.data import DataAccess, In, InOut, Out
+from repro.runtime.executor import BaseExecutor, RunResult, build_executor
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.task import Task, TaskType
+from repro.session.config import ReproConfig
+
+__all__ = ["Session"]
+
+#: Annotation markers accepted for access inference, by bare name (string
+#: annotations appear when the task module uses ``from __future__ import
+#: annotations``).
+_ACCESS_MARKERS: dict[str, Callable] = {"In": In, "Out": Out, "InOut": InOut}
+
+
+def _marker_for(annotation: Any) -> Optional[Callable]:
+    """Map a parameter annotation to In/Out/InOut, else ``None``."""
+    if annotation in (In, Out, InOut):
+        return annotation
+    if isinstance(annotation, str):
+        return _ACCESS_MARKERS.get(annotation.split(".")[-1].strip())
+    return None
+
+
+def _resolve_task_body(module: str, qualname: str) -> "_TaskBody":
+    """Unpickle helper: re-resolve a decorated task body by name.
+
+    The name resolves to the ``@session.task`` *wrapper* (it shadows the
+    original function at module scope); the raw body hangs off its
+    ``__wrapped__`` attribute.
+    """
+    import importlib
+
+    obj: Any = importlib.import_module(module)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return _TaskBody(getattr(obj, "__wrapped__", obj))
+
+
+class _TaskBody:
+    """Callable wrapper for a task body that stays picklable once decorated.
+
+    ``@session.task`` rebinds the function's module-level name to the
+    submitting wrapper, so pickling the raw function for the process backend
+    would fail with "not the same object".  This proxy calls the body
+    directly in-process and pickles by (module, qualname), resolving through
+    the wrapper's ``__wrapped__`` on the worker side.  Bodies that are not
+    module-resolvable (lambdas, closures) still fail at dispatch with the
+    process backend's explanatory error, exactly like undecorated ones.
+    """
+
+    __slots__ = ("function",)
+
+    def __init__(self, function: Callable) -> None:
+        self.function = function
+
+    def __call__(self, *args, **kwargs):
+        return self.function(*args, **kwargs)
+
+    @property
+    def __name__(self) -> str:
+        return getattr(self.function, "__name__", "task_body")
+
+    def __reduce__(self):
+        # Fail at dispatch in the parent (the process backend turns this into
+        # its explanatory error) instead of killing a worker that cannot
+        # resolve the name at unpickle time: prove resolvability here, the
+        # same way the worker will attempt it.  Catches local functions
+        # ('<locals>'), lambdas ('<lambda>') and rebound/deleted names alike.
+        fn = self.function
+        obj: Any = sys.modules.get(fn.__module__)
+        for part in fn.__qualname__.split("."):
+            obj = getattr(obj, part, None)
+        if obj is not fn and getattr(obj, "__wrapped__", None) is not fn:
+            raise pickle.PicklingError(
+                f"task body {fn.__qualname__!r} is not resolvable as a "
+                f"module-level name in {fn.__module__!r}; the process backend "
+                f"needs module-level task bodies (no lambdas/closures)"
+            )
+        return (_resolve_task_body, (fn.__module__, fn.__qualname__))
+
+
+class _TaskDeclaration:
+    """Resolved access declaration of one ``@session.task`` function."""
+
+    def __init__(
+        self,
+        fn: Callable,
+        ins: Sequence[str] | str,
+        outs: Sequence[str] | str,
+        inouts: Sequence[str] | str,
+    ) -> None:
+        self.signature = inspect.signature(fn)
+        modes: dict[str, Callable] = {}
+        for names, factory, label in (
+            (ins, In, "ins"),
+            (outs, Out, "outs"),
+            (inouts, InOut, "inouts"),
+        ):
+            if isinstance(names, str):
+                names = (names,)
+            for param in names:
+                if param not in self.signature.parameters:
+                    raise TaskDefinitionError(
+                        f"{label}: {fn.__name__}() has no parameter {param!r}"
+                    )
+                if param in modes:
+                    raise TaskDefinitionError(
+                        f"parameter {param!r} of {fn.__name__}() is declared "
+                        f"in more than one access clause"
+                    )
+                modes[param] = factory
+        annotations = getattr(fn, "__annotations__", {})
+        for param, annotation in annotations.items():
+            if param == "return":
+                continue
+            factory = _marker_for(annotation)
+            if factory is None:
+                continue
+            if param in modes and modes[param] is not factory:
+                raise TaskDefinitionError(
+                    f"parameter {param!r} of {fn.__name__}() has conflicting "
+                    f"access declarations (annotation vs ins/outs/inouts)"
+                )
+            modes.setdefault(param, factory)
+        if not modes:
+            raise TaskDefinitionError(
+                f"task {fn.__name__}() declares no data accesses; annotate "
+                f"parameters with In/Out/InOut or pass ins=/outs=/inouts="
+            )
+        # Accesses in parameter order, matching a hand-written accesses list.
+        self.modes = {
+            name: modes[name]
+            for name in self.signature.parameters
+            if name in modes
+        }
+
+    def build_accesses(self, args: tuple, kwargs: dict) -> list[DataAccess]:
+        bound = self.signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        return [
+            factory(bound.arguments[param], name=param)
+            for param, factory in self.modes.items()
+        ]
+
+
+class Session:
+    """Declarative front door to the runtime + ATM + executor assembly.
+
+    Parameters
+    ----------
+    config:
+        A :class:`ReproConfig`, a nested dict, a ``.toml``/``.json`` path or
+        ``None`` (all defaults).
+    executor:
+        Registry name overriding ``config.runtime.executor`` — or an already
+        constructed :class:`BaseExecutor` for full manual control.
+    scheduler:
+        Registry name overriding ``config.runtime.scheduler``.
+    policy:
+        Registry name overriding ``config.atm.mode`` — or an
+        :class:`~repro.atm.policy.ATMPolicy` instance.
+    engine:
+        An explicit memoization engine, bypassing policy assembly (used by
+        harnesses that pre-build engines; ``None`` + ``mode == "none"`` runs
+        without memoization).
+    cores / p / tracing:
+        Shorthand overrides for ``runtime.num_threads``, ``atm.p`` and
+        ``runtime.enable_tracing``.
+
+    Lifecycle: ``submit``/task calls are allowed until :meth:`finish`;
+    :meth:`wait_all` is the intermediate barrier; leaving a ``with`` block
+    calls :meth:`finish` (or, on an in-flight exception, :meth:`close`) so
+    executor resources — worker pools, shared-memory segments — are released
+    on every path.
+    """
+
+    def __init__(
+        self,
+        config: "ReproConfig | Mapping | str | Path | None" = None,
+        *,
+        executor: "str | BaseExecutor | None" = None,
+        scheduler: Optional[str] = None,
+        policy: Any = None,
+        engine: Any = None,
+        cores: Optional[int] = None,
+        p: Optional[float] = None,
+        tracing: Optional[bool] = None,
+    ) -> None:
+        cfg = ReproConfig.coerce(config)
+        runtime_overrides: dict[str, Any] = {}
+        atm_overrides: dict[str, Any] = {}
+        if isinstance(executor, str):
+            runtime_overrides["executor"] = executor
+        if scheduler is not None:
+            runtime_overrides["scheduler"] = scheduler
+        if cores is not None:
+            runtime_overrides["num_threads"] = cores
+        if tracing is not None:
+            runtime_overrides["enable_tracing"] = tracing
+        if isinstance(policy, str):
+            atm_overrides["mode"] = policy
+        if p is not None:
+            atm_overrides["p"] = p
+        if runtime_overrides or atm_overrides:
+            cfg = cfg.with_overrides(runtime=runtime_overrides, atm=atm_overrides)
+        self.config = cfg
+        if engine is not None and (policy is not None or p is not None):
+            # A pre-built engine carries its policy and sampling fraction;
+            # silently ignoring the overrides would misreport the run.
+            raise ConfigurationError(
+                "policy=/p= overrides do not apply to a pre-built engine"
+            )
+        if policy == "fixed_p" and p is None:
+            # Via the kwarg path an omitted p would silently fall back to the
+            # config default (1.0 = exact memoization); a declarative config
+            # tree states atm.p explicitly instead.
+            raise ConfigurationError(
+                "policy='fixed_p' requires an explicit p= override"
+            )
+
+        if executor is not None and not isinstance(executor, str):
+            if runtime_overrides:
+                # cores=/scheduler=/tracing= describe how to *build* a
+                # backend; they cannot retrofit an already-built instance,
+                # and silently ignoring them would misreport the run.
+                raise ConfigurationError(
+                    f"{', '.join(sorted(runtime_overrides))}: runtime "
+                    f"overrides do not apply to a pre-built executor instance"
+                )
+            self.executor: BaseExecutor = executor
+            if executor.engine is not None:
+                # The instance already carries an engine; a *different*
+                # explicit engine/policy would silently lose either the run's
+                # behaviour or its statistics — reject the ambiguity.
+                if (
+                    (engine is not None and engine is not executor.engine)
+                    or policy is not None
+                    or p is not None
+                ):
+                    raise ConfigurationError(
+                        "the executor instance already carries an engine; "
+                        "pass engine=/policy=/p= only with engine-less "
+                        "executors"
+                    )
+                self.engine = executor.engine
+            else:
+                self.engine = self._assemble_engine(
+                    cfg, policy, engine, num_threads=executor.config.num_threads
+                )
+                self._reject_dangling_p(p)
+                if self.engine is not None:
+                    executor.engine = self.engine
+        else:
+            self.engine = self._assemble_engine(
+                cfg, policy, engine, num_threads=cfg.runtime.num_threads
+            )
+            # Checked before build_executor so a config error never abandons
+            # a freshly spawned worker pool.
+            self._reject_dangling_p(p)
+            self.executor = build_executor(
+                cfg.runtime, engine=self.engine, sim_config=cfg.simulation
+            )
+        self.graph = TaskDependenceGraph(on_ready=self.executor.notify_ready)
+        self._closed = False
+        self._drained = False
+        self._submitted = 0
+
+    def _reject_dangling_p(self, p: Optional[float]) -> None:
+        if p is not None and self.engine is None:
+            raise ConfigurationError(
+                "p= has no effect without an ATM policy (pass policy= or set "
+                "atm.mode in the config)"
+            )
+
+    @staticmethod
+    def _assemble_engine(cfg: ReproConfig, policy: Any, engine: Any, num_threads: int):
+        """Build the memoization engine from policy/config declarations.
+
+        ``num_threads`` sizes the in-flight key table; it comes from the
+        executor that will actually run the tasks.
+        """
+        if engine is not None:
+            return engine
+        if policy is None and cfg.atm.mode == "none":
+            return None
+        # Imported here: the ATM layer itself programs against the runtime,
+        # so the engine assembly must not be a static dependency of the
+        # runtime's import graph.
+        from repro.atm.engine import ATMEngine
+        from repro.atm.policy import ATMPolicy, make_policy
+
+        num_threads = max(num_threads, 1)
+        if isinstance(policy, ATMPolicy):
+            return ATMEngine(
+                config=policy.config, policy=policy, num_threads=num_threads
+            )
+        mode = cfg.atm.mode
+        built = make_policy(
+            mode, cfg.atm, p=cfg.atm.p if mode == "fixed_p" else None
+        )
+        return ATMEngine(config=cfg.atm, policy=built, num_threads=num_threads)
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_config(
+        cls,
+        config: "ReproConfig | Mapping | str | Path | None",
+        **overrides: Any,
+    ) -> "Session":
+        """Build a session from a config tree / dict / file path.
+
+        Keyword overrides are the same as the constructor's
+        (``executor=``, ``policy=``, ``cores=``, ...).
+        """
+        return cls(config, **overrides)
+
+    # -- program construction ---------------------------------------------------
+    def submit(
+        self,
+        task_type: TaskType,
+        function: Callable,
+        accesses: Sequence[DataAccess],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> Task:
+        """Create a task and hand it to the dependence system."""
+        if self._closed:
+            raise RuntimeStateError(
+                "session already finished: no further tasks can be submitted"
+            )
+        task = Task(
+            task_type=task_type,
+            function=function,
+            accesses=list(accesses),
+            args=tuple(args),
+            kwargs=dict(kwargs or {}),
+            task_id=self._submitted,
+        )
+        self._submitted += 1
+        self.graph.add_task(task)
+        return task
+
+    def task(
+        self,
+        fn: Optional[Callable] = None,
+        *,
+        ins: Sequence[str] | str = (),
+        outs: Sequence[str] | str = (),
+        inouts: Sequence[str] | str = (),
+        name: Optional[str] = None,
+        memoizable: bool = False,
+        cost_model: Optional[Callable] = None,
+        tau_max: Optional[float] = None,
+        l_training: Optional[int] = None,
+    ) -> Callable:
+        """Declare a task type: the Python analogue of an OmpSs pragma.
+
+        The decorated function's calls submit tasks into this session; data
+        accesses come from ``In``/``Out``/``InOut`` parameter annotations
+        and/or the explicit ``ins=``/``outs=``/``inouts=`` parameter-name
+        clauses.  ``memoizable=True`` is the programmer opt-in the paper
+        requires (Section III-E); ``cost_model``/``tau_max``/``l_training``
+        forward to the :class:`~repro.runtime.task.TaskType`.
+
+        The created task type is exposed as ``fn.task_type`` and the raw
+        body as ``fn.__wrapped__`` (call it to run without submitting).
+        """
+
+        def decorate(function: Callable) -> Callable:
+            declaration = _TaskDeclaration(function, ins, outs, inouts)
+            type_kwargs: dict[str, Any] = {}
+            if cost_model is not None:
+                type_kwargs["cost_model"] = cost_model
+            task_type = TaskType(
+                name=name or function.__name__,
+                memoizable=memoizable,
+                tau_max=tau_max,
+                l_training=l_training,
+                **type_kwargs,
+            )
+
+            body = _TaskBody(function)
+
+            @functools.wraps(function)
+            def wrapper(*args, **kwargs) -> Task:
+                accesses = declaration.build_accesses(args, kwargs)
+                return self.submit(
+                    task_type, body, accesses=accesses, args=args, kwargs=kwargs
+                )
+
+            wrapper.task_type = task_type  # type: ignore[attr-defined]
+            wrapper.declaration = declaration  # type: ignore[attr-defined]
+            return wrapper
+
+        if fn is not None:
+            return decorate(fn)
+        return decorate
+
+    # -- barriers and lifecycle ---------------------------------------------------
+    def wait_all(self) -> RunResult:
+        """Barrier: run every submitted task to completion (``taskwait``)."""
+        if self._closed:
+            raise RuntimeStateError(
+                "session already finished: wait_all() is not available after "
+                "finish()/close()"
+            )
+        try:
+            return self.executor.drain(self.graph)
+        finally:
+            # Even a failing drain ran the barrier: partial counters in
+            # Session.result stay readable for error reporting.
+            self._drained = True
+
+    def finish(self) -> RunResult:
+        """Final barrier; afterwards the session rejects new submissions.
+
+        Executor-held resources (the process backend's worker pool and
+        shared-memory segments) are released even when the drain raises; the
+        returned result stays valid after the release.
+        """
+        if self._closed:
+            raise RuntimeStateError("session already finished")
+        try:
+            return self.wait_all()
+        finally:
+            self._closed = True
+            self.executor.close()
+
+    def close(self) -> None:
+        """Release executor resources without draining (error-path teardown)."""
+        self._closed = True
+        self.executor.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._closed:
+            return
+        if exc_type is None:
+            self.finish()
+        else:
+            # An exception is unwinding: do not try to drain, but never leak
+            # the worker pool / shared segments either.
+            self.close()
+
+    # -- introspection ------------------------------------------------------------
+    @property
+    def task_count(self) -> int:
+        return self.graph.task_count
+
+    @property
+    def result(self) -> RunResult:
+        """Aggregate result of the drains run so far.
+
+        Raises :class:`RuntimeStateError` until a barrier has actually run —
+        reading stats from a session that never drained is a bug, not an
+        empty result.
+        """
+        if not self._drained:
+            raise RuntimeStateError(
+                "no result yet: run wait_all() or finish() before reading "
+                "Session.result"
+            )
+        return self.executor.result()
+
+    @property
+    def stats(self) -> dict:
+        """ATM statistics snapshot (empty when no engine is installed)."""
+        if self.engine is None or not hasattr(self.engine, "stats"):
+            return {}
+        return self.engine.stats.snapshot()
+
+    def describe(self) -> str:
+        engine = "none"
+        if self.engine is not None:
+            policy = getattr(self.engine, "policy", None)
+            engine = policy.describe() if policy is not None else "custom"
+        return (
+            f"Session(executor={type(self.executor).__name__}, "
+            f"scheduler={self.config.runtime.scheduler!r}, "
+            f"cores={self.config.runtime.num_threads}, atm={engine})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()

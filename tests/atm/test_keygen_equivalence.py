@@ -211,7 +211,7 @@ class TestDigestCacheInvalidation:
 
     def test_end_to_end_task_write_invalidates(self):
         """A write committed by the runtime changes the consumer's next key."""
-        from repro.runtime.api import TaskRuntime
+        from repro.session import Session
         from repro.runtime.data import InOut
 
         rng = np.random.default_rng(7)
@@ -225,7 +225,7 @@ class TestDigestCacheInvalidation:
         def writer(buf):
             buf += 1.0
 
-        runtime = TaskRuntime()
+        runtime = Session(executor="serial", cores=1)
         runtime.submit(writer_type, writer, accesses=[InOut(shared)], args=(shared,))
         runtime.finish()
 

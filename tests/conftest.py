@@ -8,11 +8,11 @@ import pytest
 from repro.atm.engine import ATMEngine
 from repro.atm.policy import DynamicATMPolicy, StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
-from repro.runtime.api import TaskRuntime
 from repro.runtime.data import In, Out
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simulator import SimulatedExecutor
 from repro.runtime.task import TaskType
+from repro.session import Session
 
 
 @pytest.fixture
@@ -31,24 +31,24 @@ def dynamic_engine(atm_config) -> ATMEngine:
 
 
 @pytest.fixture
-def serial_runtime() -> TaskRuntime:
-    return TaskRuntime(executor=SerialExecutor(config=RuntimeConfig(num_threads=1)))
+def serial_runtime() -> Session:
+    return Session(executor=SerialExecutor(config=RuntimeConfig(num_threads=1)))
 
 
-def make_serial_runtime(engine=None) -> TaskRuntime:
-    return TaskRuntime(
+def make_serial_runtime(engine=None) -> Session:
+    return Session(
         executor=SerialExecutor(config=RuntimeConfig(num_threads=1), engine=engine)
     )
 
 
-def make_threaded_runtime(engine=None, threads: int = 4) -> TaskRuntime:
-    return TaskRuntime(
+def make_threaded_runtime(engine=None, threads: int = 4) -> Session:
+    return Session(
         executor=ThreadedExecutor(config=RuntimeConfig(num_threads=threads), engine=engine)
     )
 
 
-def make_simulated_runtime(engine=None, cores: int = 4, sim_config=None) -> TaskRuntime:
-    return TaskRuntime(
+def make_simulated_runtime(engine=None, cores: int = 4, sim_config=None) -> Session:
+    return Session(
         executor=SimulatedExecutor(
             config=RuntimeConfig(num_threads=cores),
             engine=engine,
@@ -64,7 +64,7 @@ def square_body(src: np.ndarray, dst: np.ndarray) -> None:
     dst[:] = src ** 2
 
 
-def submit_square(runtime: TaskRuntime, src: np.ndarray, dst: np.ndarray):
+def submit_square(runtime: Session, src: np.ndarray, dst: np.ndarray):
     """Helper used across executor/engine tests: dst = src ** 2 as a task."""
     return runtime.submit(
         SQUARE_TYPE, square_body, accesses=[In(src), Out(dst)], args=(src, dst)

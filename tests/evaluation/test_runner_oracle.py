@@ -81,6 +81,28 @@ class TestRunner:
         assert geometric_mean([]) == 0.0
         assert geometric_mean([2.0, 0.0]) == pytest.approx(2.0)
 
+    @pytest.mark.parametrize("spec", [
+        ExperimentSpec(benchmark="blackscholes"),
+        ExperimentSpec(benchmark="kmeans", scale="tiny", mode="static", cores=2),
+        ExperimentSpec(benchmark="swaptions", mode="fixed_p", p=0.25,
+                       executor="serial", cores=4, seed=7),
+        ExperimentSpec(benchmark="jacobi", mode="dynamic", use_ikt=False,
+                       tht_bucket_bits=4, enable_tracing=True),
+    ])
+    def test_spec_round_trips_through_session_config(self, spec):
+        # ExperimentSpec is a thin view over ReproConfig: projecting the
+        # lowered tree back must reproduce the spec (p is reconstructed for
+        # fixed_p only; the other modes ignore it).
+        rebuilt = ExperimentSpec.from_config(
+            spec.to_config(), spec.benchmark, spec.scale
+        )
+        assert rebuilt == spec
+        assert hash(rebuilt) == hash(spec)
+
+    def test_fixed_p_without_p_rejected(self):
+        with pytest.raises(EvaluationError, match="explicit p"):
+            ExperimentSpec(benchmark="swaptions", mode="fixed_p").to_config()
+
 
 class TestOracle:
     def test_oracle_meets_correctness_target(self):

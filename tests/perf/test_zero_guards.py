@@ -12,8 +12,8 @@ import pytest
 
 from repro.common.config import RuntimeConfig
 from repro.perf.report import safe_ratio
-from repro.runtime.api import TaskRuntime
-from repro.runtime.executor import RunResult, make_executor
+from repro.session import Session
+from repro.runtime.executor import RunResult, build_executor
 
 BACKENDS = ("serial", "threaded", "process", "simulated")
 
@@ -32,9 +32,9 @@ class TestEmptyGraphDrain:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_empty_drain_yields_zero_result(self, backend):
         config = RuntimeConfig(num_threads=2, executor=backend)
-        executor = make_executor(config)
+        executor = build_executor(config)
         try:
-            runtime = TaskRuntime(executor=executor, config=config)
+            runtime = Session(executor=executor)
             result = runtime.finish()
             assert result.tasks_completed == 0
             assert result.tasks_executed == 0

@@ -67,7 +67,29 @@ class TestTaskRuntime:
     def test_default_executor_is_serial(self):
         runtime = TaskRuntime()
         assert runtime.executor is not None
+        # Reading .result before any barrier is a state error, not a silent
+        # zeroed result (see repro.session.Session.result).
+        with pytest.raises(RuntimeStateError):
+            runtime.result
+        assert runtime.wait_all().tasks_completed == 0
         assert runtime.result.tasks_completed == 0
+
+    def test_result_before_any_drain_raises(self):
+        runtime = make_serial_runtime()
+        tt = TaskType("noop")
+        runtime.submit(tt, lambda: None, accesses=[Out(np.zeros(1))])
+        with pytest.raises(RuntimeStateError, match="wait_all"):
+            runtime.result
+        runtime.finish()
+        assert runtime.result.tasks_completed == 1
+
+    def test_wait_all_after_finish_raises_clearly(self):
+        runtime = make_serial_runtime()
+        runtime.finish()
+        with pytest.raises(RuntimeStateError, match="finished"):
+            runtime.wait_all()
+        with pytest.raises(RuntimeStateError, match="finished"):
+            runtime.finish()
 
 
 class TestTaskDecorator:

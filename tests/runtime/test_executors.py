@@ -9,7 +9,7 @@ from repro.atm.engine import ATMEngine
 from repro.atm.policy import StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
 from repro.common.exceptions import RuntimeStateError
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.executor import RunResult, SerialExecutor, ThreadedExecutor
 from repro.runtime.simulator import SimulatedExecutor
@@ -23,7 +23,7 @@ from tests.conftest import (
 )
 
 
-def build_chain(runtime: TaskRuntime, length: int = 5) -> np.ndarray:
+def build_chain(runtime: Session, length: int = 5) -> np.ndarray:
     """data[i+1] = data[i] + 1, as a chain of dependent tasks."""
     data = np.zeros(1)
     increment_type = TaskType("increment")

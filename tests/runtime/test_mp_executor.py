@@ -9,7 +9,7 @@ from repro.atm.engine import ATMEngine
 from repro.atm.policy import StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig
 from repro.common.exceptions import RuntimeStateError
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.mp_executor import ProcessExecutor
@@ -17,10 +17,10 @@ from repro.runtime.shm import SharedBufferRegistry, SharedVersionTable, WorkerAr
 from repro.runtime.task import TaskType
 
 
-def make_process_runtime(workers=2, engine=None, **overrides) -> TaskRuntime:
+def make_process_runtime(workers=2, engine=None, **overrides) -> Session:
     config = RuntimeConfig(num_threads=workers, executor="process", **overrides)
     executor = ProcessExecutor(config=config, engine=engine)
-    return TaskRuntime(executor=executor, config=config)
+    return Session(executor=executor)
 
 
 def square(src, dst):

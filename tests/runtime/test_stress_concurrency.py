@@ -28,7 +28,7 @@ import pytest
 from repro.atm.engine import ATMEngine
 from repro.atm.policy import StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, Out
 from repro.runtime.executor import ThreadedExecutor
 from repro.runtime.mp_executor import ProcessExecutor
@@ -53,7 +53,7 @@ def churn_config() -> ATMConfig:
     return ATMConfig(tht_bucket_bits=0, tht_bucket_capacity=2)
 
 
-def build_fanout(runtime: TaskRuntime):
+def build_fanout(runtime: Session):
     produce_type = TaskType("stress_produce", memoizable=False)
     consume_type = TaskType("stress_consume", memoizable=True)
     sources = [np.zeros(64) for _ in range(PATTERNS)]
@@ -95,7 +95,7 @@ def test_stress_fanout_churn(backend):
         executor = ProcessExecutor(config=runtime_config, engine=engine)
     executor.DRAIN_TIMEOUT = WALL_CLOCK_LIMIT  # fail loudly instead of hanging
 
-    runtime = TaskRuntime(executor=executor, config=runtime_config)
+    runtime = Session(executor=executor)
     sources, outs = build_fanout(runtime)
     t0 = time.perf_counter()
     result = runtime.finish()  # raises RuntimeStateError on starvation/timeouts

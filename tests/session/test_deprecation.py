@@ -1,0 +1,130 @@
+"""The legacy API surface still works and warns exactly once per use."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.common.config import RuntimeConfig
+from repro.runtime.api import TaskRuntime, task
+from repro.runtime.data import In, Out
+from repro.runtime.executor import SerialExecutor, make_executor
+from repro.runtime.task import TaskType
+from repro.session.session import Session
+
+
+def collect_deprecations(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        value = fn()
+    return value, [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+class TestTaskRuntimeShim:
+    def test_constructor_warns_exactly_once(self):
+        runtime, deprecations = collect_deprecations(TaskRuntime)
+        assert len(deprecations) == 1
+        assert "repro.session.Session" in str(deprecations[0].message)
+        assert isinstance(runtime.executor, SerialExecutor)
+
+    def test_old_submit_wait_pattern_still_works(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = TaskRuntime()
+        src, dst = np.arange(4.0), np.zeros(4)
+        tt = TaskType("copy_shim")
+        runtime.submit(tt, lambda s, d: d.__setitem__(slice(None), s),
+                       accesses=[In(src), Out(dst)], args=(src, dst))
+        result = runtime.finish()
+        assert dst.tolist() == src.tolist()
+        assert result.tasks_completed == 1
+        assert runtime.task_count == 1
+        assert runtime.result.tasks_completed == 1
+
+    def test_shim_delegates_to_a_session(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = TaskRuntime(config=RuntimeConfig(num_threads=2))
+        assert isinstance(runtime.session, Session)
+        assert runtime.config.num_threads == 2
+        assert runtime.graph is runtime.session.graph
+
+    def test_default_executor_is_serial_even_if_config_names_another(self):
+        # The original constructor never consulted config.executor when
+        # executor=None; the shim must not start spawning worker pools.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = TaskRuntime(config=RuntimeConfig(num_threads=2, executor="process"))
+        assert isinstance(runtime.executor, SerialExecutor)
+
+    def test_engine_argument_ignored_when_executor_carries_one(self):
+        # Historical constructor semantics (the Session constructor itself
+        # rejects this ambiguity, the shim must not).
+        from repro.atm.engine import ATMEngine
+        from repro.atm.policy import StaticATMPolicy
+        from repro.common.config import ATMConfig
+
+        config = ATMConfig()
+        carried = ATMEngine(config=config, policy=StaticATMPolicy(config))
+        other = ATMEngine(config=config, policy=StaticATMPolicy(config))
+        executor = SerialExecutor(config=RuntimeConfig(num_threads=1), engine=carried)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            runtime = TaskRuntime(executor=executor, engine=other)
+        assert runtime.executor.engine is carried
+
+    def test_context_manager_still_finishes(self):
+        data = np.zeros(1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with TaskRuntime() as runtime:
+                runtime.submit(TaskType("inc_shim"),
+                               lambda d: d.__setitem__(0, 1.0),
+                               accesses=[Out(data)], args=(data,))
+        assert data[0] == 1.0
+
+
+class TestTaskDecoratorShim:
+    def test_decoration_warns_exactly_once(self):
+        tt = TaskType("double_shim", memoizable=True)
+
+        def declare():
+            @task(tt, lambda src, dst: [In(src), Out(dst)])
+            def double(src, dst):
+                dst[:] = 2 * src
+            return double
+
+        double, deprecations = collect_deprecations(declare)
+        assert len(deprecations) == 1
+        assert "Session.task" in str(deprecations[0].message)
+        assert double.task_type is tt
+
+    def test_decorated_function_still_runs_and_submits(self):
+        tt = TaskType("triple_shim", memoizable=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+
+            @task(tt, lambda src, dst: [In(src), Out(dst)])
+            def triple(src, dst):
+                dst[:] = 3 * src
+
+            runtime = TaskRuntime()
+        a, b = np.ones(3), np.zeros(3)
+        triple(a, b)                      # direct call, no runtime
+        assert b.tolist() == [3.0, 3.0, 3.0]
+        b[:] = 0
+        triple(a, b, runtime=runtime)     # submission path
+        assert b.tolist() == [0.0, 0.0, 0.0]
+        runtime.finish()
+        assert b.tolist() == [3.0, 3.0, 3.0]
+
+
+class TestMakeExecutorShim:
+    def test_warns_exactly_once_and_builds(self):
+        build = lambda: make_executor(RuntimeConfig(num_threads=1, executor="serial"))
+        executor, deprecations = collect_deprecations(build)
+        assert len(deprecations) == 1
+        assert "Session" in str(deprecations[0].message)
+        assert isinstance(executor, SerialExecutor)

@@ -15,7 +15,7 @@ from repro.apps import BENCHMARK_NAMES, make_benchmark
 from repro.atm.engine import ATMEngine
 from repro.atm.policy import DynamicATMPolicy, StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.executor import SerialExecutor, ThreadedExecutor
 from repro.runtime.simulator import SimulatedExecutor
 
@@ -29,7 +29,7 @@ def run_app(name, engine=None, executor_kind="serial", cores=4):
         executor = ThreadedExecutor(config=config, engine=engine)
     else:
         executor = SimulatedExecutor(config=config, engine=engine, sim_config=SimulationConfig())
-    runtime = TaskRuntime(executor=executor)
+    runtime = Session(executor=executor)
     app.run(runtime)
     return app, executor.result()
 
