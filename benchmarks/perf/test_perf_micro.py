@@ -13,6 +13,7 @@ from repro.perf.micro import (
     bench_dependences,
     bench_keygen,
     bench_simulator_drain,
+    bench_submission,
     bench_tht_probe,
 )
 from repro.perf.report import THRESHOLDS, build_report, check_report
@@ -41,6 +42,16 @@ class TestMicrobenchmarks:
         result = bench_dependences(tasks=100)
         assert result["tasks_per_sec"] > 0
 
+    def test_submission(self):
+        result = bench_submission(tasks=100, batch=16)
+        shapes = {(c["shape"], c["batch"]) for c in result["cases"]}
+        assert {("wide", 1), ("wide", 16), ("chain", 1), ("chain", 16),
+                ("stencil", 1), ("stencil", 16),
+                ("session_per_call", 1), ("session_batch", 16),
+                ("session_submit_batch", 16)} <= shapes
+        assert all(c["tasks_per_sec"] > 0 for c in result["cases"])
+        assert set(result["batch_speedup"]) == {"wide", "chain", "stencil"}
+
     def test_simulator_drain(self):
         result = bench_simulator_drain(tasks=60)
         assert result["events_per_sec"] > 0
@@ -49,7 +60,8 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 2
+        assert report["schema_version"] == 3
+        assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
         assert len(report["endtoend"]) == 6
         backend = report["process_backend"]

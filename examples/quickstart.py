@@ -54,8 +54,14 @@ def run(mode: str):
         def matvec(matrix: In, vector: In, result: Out) -> None:
             result[:] = matrix @ vector
 
-        for matrix, vector, result in zip(matrices, vectors, results):
-            matvec(matrix, vector, result)
+        # Batched submission: every call inside the block is buffered and
+        # handed to the dependence graph in one batch (one lock acquisition,
+        # one ready-queue handoff) — the fast path for iterative apps that
+        # submit a whole sweep at a time (PERFORMANCE.md "Submission fast
+        # path").  Dependences and results are identical to per-call submits.
+        with s.batch():
+            for matrix, vector, result in zip(matrices, vectors, results):
+                matvec(matrix, vector, result)
     return s.result.elapsed, results, s
 
 

@@ -10,11 +10,15 @@ performs no executor/engine wiring of its own.
 
 Usage::
 
-    python scripts/bench.py                 # full suite -> BENCH_1.json
+    python scripts/bench.py                 # full suite -> BENCH_<n>.json
     python scripts/bench.py --quick         # reduced rounds (CI smoke)
     python scripts/bench.py --check         # also run tier-1 tests + the
                                             # keygen-equivalence suite and
                                             # fail on any regression
+    python scripts/bench.py --profile dependences
+                                            # cProfile one micro suite and
+                                            # dump the top-20 cumulative
+                                            # entries (hot-path triage)
     make bench / make bench-check           # the same, via the Makefile
 
 Exit status is non-zero when a gated perf threshold or (with ``--check``)
@@ -46,6 +50,35 @@ def run_tests(check_args: list[str]) -> int:
     return subprocess.call(command, cwd=REPO_ROOT, env=env)
 
 
+#: Suites selectable with ``--profile``: name -> (module, callable, kwargs).
+PROFILE_SUITES = {
+    "keygen": ("repro.perf.micro", "bench_keygen", {}),
+    "tht": ("repro.perf.micro", "bench_tht_probe", {}),
+    "dependences": ("repro.perf.micro", "bench_dependences", {}),
+    "submission": ("repro.perf.micro", "bench_submission", {}),
+    "simulator": ("repro.perf.micro", "bench_simulator_drain", {}),
+    "endtoend": ("repro.perf.endtoend", "bench_end_to_end", {}),
+}
+
+
+def run_profile(suite: str) -> int:
+    """cProfile one suite and print the top-20 cumulative entries."""
+    import cProfile
+    import importlib
+    import pstats
+
+    module_name, function_name, kwargs = PROFILE_SUITES[suite]
+    function = getattr(importlib.import_module(module_name), function_name)
+    profile = cProfile.Profile()
+    profile.enable()
+    result = function(**kwargs)
+    profile.disable()
+    del result
+    stats = pstats.Stats(profile)
+    stats.sort_stats("cumulative").print_stats(20)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument(
@@ -53,8 +86,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=3,
-        help="report generation number (default 3)",
+        "--bench-id", type=int, default=4,
+        help="report generation number (default 4)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -65,7 +98,16 @@ def main(argv: list[str] | None = None) -> int:
         help="run tier-1 tests and the keygen-equivalence suite first; "
              "fail if they fail or a perf threshold regresses",
     )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILE_SUITES), default=None,
+        metavar="SUITE",
+        help="instead of writing a report, run one suite under cProfile and "
+             f"print the top-20 cumulative entries ({', '.join(sorted(PROFILE_SUITES))})",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return run_profile(args.profile)
 
     if args.check:
         status = run_tests(["tests"])
@@ -92,6 +134,14 @@ def main(argv: list[str] | None = None) -> int:
     for case in keygen["cases"]:
         print(f"    {case['name']:32} new {case['new_us']:9.2f}us  "
               f"ref {case['ref_us']:9.2f}us  {case['speedup']:6.2f}x")
+    dependences = report["micro"]["dependences"]
+    print(f"  dependence submission   : {dependences['submit_us_per_task']}us/task "
+          f"({dependences['tasks_per_sec']:.0f} tasks/s, threshold "
+          f"{report['checks']['thresholds']['submission_tasks_per_sec']:.0f}/s)")
+    for case in report["micro"]["submission"]["cases"]:
+        print(f"    submit {case['shape']:22} batch {case['batch']:3}  "
+              f"{case['submit_us_per_task']:8.3f}us  "
+              f"{case['tasks_per_sec']:10.1f} tasks/s")
     for run in report["endtoend"]:
         print(f"  e2e {run['benchmark']:13} {run['mode']:8} "
               f"wall {run['wall_s']:7.3f}s  reuse {run['reuse_percent']:6.2f}%  "

@@ -46,6 +46,7 @@ __all__ = [
     "bench_keygen",
     "bench_tht_probe",
     "bench_dependences",
+    "bench_submission",
     "bench_simulator_drain",
 ]
 
@@ -233,11 +234,159 @@ def bench_dependences(tasks: int = 600) -> dict:
         return (time.perf_counter() - t0) / submitted * 1e6
 
     samples = [build() for _ in range(3)]
-    per_task_us = statistics.median(samples)
+    per_task_us = min(samples)  # gated: min, like bench_submission
     return {
         "tasks": tasks,
         "submit_us_per_task": round(per_task_us, 3),
         "tasks_per_sec": round(safe_ratio(1e6, per_task_us), 1),
+    }
+
+
+def bench_submission(tasks: int = 600, batch: int = 64) -> dict:
+    """Submission throughput across graph shapes and batch sizes.
+
+    Three access-pattern shapes cover the spectrum the dependence index
+    sees in practice:
+
+    * **wide** — every task writes its own block: no edges, pure
+      per-task overhead;
+    * **chain** — every task ``inout``s one shared buffer: maximal edge
+      churn, one predecessor per task;
+    * **stencil** — tasks sweep over a ring of blocks reading both
+      neighbours (``In(left), In(right), InOut(mine)``): several overlap
+      queries and 3 edges per task in steady state.
+
+    Each shape is measured at ``batch=1`` (``graph.add_task`` per task, the
+    pre-PR-4 protocol) and at ``batch=<batch>`` (``graph.add_tasks`` chunks:
+    one graph-lock acquisition and one batched ready-queue handoff per
+    chunk).  A final pair measures the full Session facade — per-call
+    ``@s.task`` submission vs ``Session.submit_batch`` — so the public
+    batched-submission surface is exercised by the perf suite.
+    """
+    task_type = TaskType("perf_submit")
+    n_blocks = 16
+    blocks = [np.zeros(256) for _ in range(n_blocks)]
+    own = [np.zeros(64) for _ in range(tasks)]
+
+    def wide_accesses(index: int) -> list:
+        return [Out(own[index])]
+
+    def chain_accesses(index: int) -> list:
+        return [InOut(blocks[0])]
+
+    def stencil_accesses(index: int) -> list:
+        mine = index % n_blocks
+        return [
+            In(blocks[(mine - 1) % n_blocks]),
+            In(blocks[(mine + 1) % n_blocks]),
+            InOut(blocks[mine]),
+        ]
+
+    def run(accesses_of, chunk: int) -> float:
+        graph = TaskDependenceGraph()
+        t0 = time.perf_counter()
+        if chunk <= 1:
+            for index in range(tasks):
+                graph.add_task(Task(
+                    task_type=task_type, function=lambda: None,
+                    accesses=accesses_of(index), task_id=-1,
+                ))
+        else:
+            for lo in range(0, tasks, chunk):
+                graph.add_tasks([
+                    Task(
+                        task_type=task_type, function=lambda: None,
+                        accesses=accesses_of(index), task_id=-1,
+                    )
+                    for index in range(lo, min(lo + chunk, tasks))
+                ])
+        return (time.perf_counter() - t0) / tasks * 1e6
+
+    cases = []
+    shapes = [
+        ("wide", wide_accesses),
+        ("chain", chain_accesses),
+        ("stencil", stencil_accesses),
+    ]
+    # Gated metric: take the *minimum* of the samples, not the median.
+    # Scheduler noise on loaded shared runners is strictly additive, so the
+    # fastest observation is the least-noisy estimate of the true cost.
+    for name, accesses_of in shapes:
+        for chunk in (1, batch):
+            samples = [run(accesses_of, chunk) for _ in range(3)]
+            per_task = min(samples)
+            cases.append({
+                "shape": name,
+                "batch": chunk,
+                "submit_us_per_task": round(per_task, 3),
+                "tasks_per_sec": round(safe_ratio(1e6, per_task), 1),
+            })
+
+    # -- the public facade: per-call @s.task vs Session.submit_batch ----------
+    from repro.session import Session
+
+    def session_per_call() -> float:
+        with Session(executor="serial") as s:
+            saxpy = s.task(outs=("y",))(lambda y: None)
+            t0 = time.perf_counter()
+            for index in range(tasks):
+                saxpy(own[index])
+            elapsed = time.perf_counter() - t0
+            s.wait_all()
+        return elapsed / tasks * 1e6
+
+    def session_batch() -> float:
+        with Session(executor="serial") as s:
+            saxpy = s.task(outs=("y",))(lambda y: None)
+            t0 = time.perf_counter()
+            for lo in range(0, tasks, batch):
+                with s.batch():
+                    for index in range(lo, min(lo + batch, tasks)):
+                        saxpy(own[index])
+            elapsed = time.perf_counter() - t0
+            s.wait_all()
+        return elapsed / tasks * 1e6
+
+    def session_submit_batch() -> float:
+        with Session(executor="serial") as s:
+            t0 = time.perf_counter()
+            for lo in range(0, tasks, batch):
+                s.submit_batch([
+                    (task_type, lambda: None, [Out(own[index])])
+                    for index in range(lo, min(lo + batch, tasks))
+                ])
+            elapsed = time.perf_counter() - t0
+            s.wait_all()
+        return elapsed / tasks * 1e6
+
+    for name, fn, chunk in (
+        ("session_per_call", session_per_call, 1),
+        ("session_batch", session_batch, batch),
+        ("session_submit_batch", session_submit_batch, batch),
+    ):
+        samples = [fn() for _ in range(3)]
+        per_task = min(samples)
+        cases.append({
+            "shape": name,
+            "batch": chunk,
+            "submit_us_per_task": round(per_task, 3),
+            "tasks_per_sec": round(safe_ratio(1e6, per_task), 1),
+        })
+
+    by_key = {(c["shape"], c["batch"]): c for c in cases}
+    batch_speedup = {
+        name: round(safe_ratio(
+            by_key[(name, 1)]["submit_us_per_task"],
+            by_key[(name, batch)]["submit_us_per_task"],
+        ), 2)
+        for name, _ in shapes
+    }
+    return {
+        "tasks": tasks,
+        "batch": batch,
+        "cases": cases,
+        "batch_speedup": batch_speedup,
+        "best_tasks_per_sec": max(c["tasks_per_sec"] for c in cases),
     }
 
 

@@ -1,12 +1,12 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 2):
+perf trajectory.  Schema (``schema_version`` 3):
 
 .. code-block:: text
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
       "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
@@ -15,6 +15,8 @@ perf trajectory.  Schema (``schema_version`` 2):
                     "headline_speedup": <float>},
         "tht_probe": {...},
         "dependences": {...},
+        "submission": {"tasks": ..., "batch": ..., "cases": [...],
+                        "batch_speedup": {...}, "best_tasks_per_sec": ...},
         "simulator": {...}
       },
       "endtoend": [ {per-run record, incl. output_checksum}, ... ],
@@ -29,10 +31,20 @@ perf trajectory.  Schema (``schema_version`` 2):
     }
 
 ``check_report`` enforces the acceptance thresholds (keygen >= 3x on
-multi-input tasks, shuffle memory >= 5x smaller than the seed); wall-clock
-metrics — including the process-backend speedups, which depend on physical
-core availability — are recorded for trend analysis but deliberately not
-gated, because CI machines vary.
+multi-input tasks, shuffle memory >= 5x smaller than the seed, and — since
+schema 3 — a submission-throughput floor on the ``dependences`` micro);
+other wall-clock metrics — including the process-backend speedups, which
+depend on physical core availability — are recorded for trend analysis but
+deliberately not gated, because CI machines vary.  The submission floor is
+the one deliberate exception to the no-wall-clock-gates policy (the PR-4
+satellite asks for exactly this regression tripwire); it gates the
+*slowest* submission-path case — per-task dependences micro and every
+``submission``-suite shape, batched and facade included.  The gated micros
+report min-of-samples (scheduler noise is strictly additive, so the
+fastest observation estimates true cost best on loaded shared runners),
+and the 30k tasks/sec floor sits >2x below the ~80-90k the slowest shape
+(stencil, batch=1) measures on this container while a regression back
+towards the pre-PR-4 17.5k tasks/sec still fails loudly.
 """
 
 from __future__ import annotations
@@ -53,7 +65,7 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
@@ -66,6 +78,7 @@ def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> fl
 THRESHOLDS = {
     "keygen_speedup_multi_input": 3.0,
     "shuffle_memory_reduction": 5.0,
+    "submission_tasks_per_sec": 30_000.0,
 }
 
 
@@ -76,6 +89,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         bench_dependences,
         bench_keygen,
         bench_simulator_drain,
+        bench_submission,
         bench_tht_probe,
     )
     from repro.perf.process_backend import bench_process_backend
@@ -88,6 +102,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "keygen": keygen,
         "tht_probe": bench_tht_probe(rounds=2000 if quick else 20000),
         "dependences": bench_dependences(tasks=200 if quick else 600),
+        "submission": bench_submission(tasks=200 if quick else 600),
         "simulator": bench_simulator_drain(tasks=150 if quick else 400),
     }
     endtoend = bench_end_to_end()
@@ -99,9 +114,18 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         )
     else:
         process_backend = bench_process_backend(workers=4)
+    # Gate the *slowest* submission path: the per-task dependences micro and
+    # every submission-suite shape (per-task and batched, including the
+    # Session facade), so a regression confined to the batch protocol or the
+    # facade cannot hide behind a healthy per-task number.
+    submission_floor = min(
+        micro["dependences"]["tasks_per_sec"],
+        min(case["tasks_per_sec"] for case in micro["submission"]["cases"]),
+    )
     checks = {
         "keygen_speedup_multi_input": keygen["headline_speedup"],
         "shuffle_memory_reduction": keygen["shuffle_memory"]["reduction"],
+        "submission_tasks_per_sec": round(submission_floor, 1),
         "thresholds": dict(THRESHOLDS),
     }
     checks["passed"] = all(

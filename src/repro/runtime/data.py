@@ -163,7 +163,8 @@ class DataRegion:
     """
 
     __slots__ = (
-        "array", "name", "descriptor", "_base", "_base_id", "_byte_start", "_byte_end"
+        "array", "_name", "_descriptor", "_base", "_base_id",
+        "_nbytes", "byte_interval", "region_key",
     )
 
     def __init__(self, array: np.ndarray, name: Optional[str] = None) -> None:
@@ -172,28 +173,48 @@ class DataRegion:
                 f"DataRegion requires a numpy array, got {type(array).__name__}"
             )
         self.array = array
-        self.name = name or f"region@{id(array):#x}"
-        self.descriptor: TypeDescriptor = describe_array(array)
+        self._name = name
+        self._descriptor: Optional[TypeDescriptor] = None
         base = _base_buffer(array)
         self._base = base
-        self._base_id = id(base)
-        if array.flags.c_contiguous or array.ndim <= 1:
-            base_addr = base.__array_interface__["data"][0]
-            my_addr = array.__array_interface__["data"][0]
-            self._byte_start = my_addr - base_addr
-            self._byte_end = self._byte_start + array.nbytes
+        base_id = id(base)
+        self._base_id = base_id
+        self._nbytes = int(array.nbytes)
+        if base is array:
+            start = 0
+            end = self._nbytes
+        elif array.flags.c_contiguous:
+            start = (
+                array.__array_interface__["data"][0]
+                - base.__array_interface__["data"][0]
+            )
+            end = start + self._nbytes
         else:
             # Non-contiguous view: use the full byte span it touches within
-            # the base buffer (conservative for dependence purposes).
-            base_addr = base.__array_interface__["data"][0]
-            my_addr = array.__array_interface__["data"][0]
+            # the base buffer (conservative for dependence purposes).  The
+            # data pointer addresses the first *logical* element, which for
+            # negative strides is not the lowest touched address — anchor at
+            # the lowest-address corner so reversed/strided views (including
+            # 1-D ones) keep a correct interval instead of one extending
+            # past the buffer.
+            offset = (
+                array.__array_interface__["data"][0]
+                - base.__array_interface__["data"][0]
+            )
+            lowest = 0
             span = 0
             for stride, dim in zip(array.strides, array.shape):
-                if dim > 0:
+                if dim > 1:
+                    if stride < 0:
+                        lowest += stride * (dim - 1)
                     span += abs(stride) * (dim - 1)
             span += array.dtype.itemsize
-            self._byte_start = my_addr - base_addr
-            self._byte_end = self._byte_start + span
+            start = offset + lowest
+            end = start + span
+        #: Half-open byte interval within the base buffer.
+        self.byte_interval = (start, end)
+        #: Hashable identity of this region (base buffer + byte interval).
+        self.region_key = (base_id, start, end)
 
     # -- identity & overlap -------------------------------------------------
     @property
@@ -202,20 +223,35 @@ class DataRegion:
         return self._base_id
 
     @property
-    def byte_interval(self) -> tuple[int, int]:
-        """Half-open byte interval within the base buffer."""
-        return (self._byte_start, self._byte_end)
+    def name(self) -> str:
+        """Human-readable name (lazily defaulted: the f-string is measurable
+        on the submission path and most regions are never printed)."""
+        name = self._name
+        if name is None:
+            name = f"region@{id(self.array):#x}"
+            self._name = name
+        return name
+
+    @name.setter
+    def name(self, value: Optional[str]) -> None:
+        self._name = value
 
     @property
-    def region_key(self) -> tuple[int, int, int]:
-        """Hashable identity of this region (base buffer + byte interval)."""
-        return (self._base_id, self._byte_start, self._byte_end)
+    def descriptor(self) -> TypeDescriptor:
+        """Element-type descriptor, computed on first use (ATM-only)."""
+        descriptor = self._descriptor
+        if descriptor is None:
+            descriptor = describe_array(self.array)
+            self._descriptor = descriptor
+        return descriptor
 
     def overlaps(self, other: "DataRegion") -> bool:
         """True if the two regions may touch common bytes."""
         if self._base_id != other._base_id:
             return False
-        return self._byte_start < other._byte_end and other._byte_start < self._byte_end
+        start, end = self.byte_interval
+        other_start, other_end = other.byte_interval
+        return start < other_end and other_start < end
 
     # -- write versioning -----------------------------------------------------
     @property
@@ -236,12 +272,12 @@ class DataRegion:
     @property
     def version_token(self) -> tuple[int, int, int, int]:
         """Cache key for this region's current content: identity + version."""
-        return (self._base_id, self._byte_start, self._byte_end, self.version)
+        return self.region_key + (self.version,)
 
     # -- data access ---------------------------------------------------------
     @property
     def nbytes(self) -> int:
-        return int(self.array.nbytes)
+        return self._nbytes
 
     @property
     def dtype(self) -> np.dtype:
@@ -337,39 +373,50 @@ def as_region(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> Dat
     return DataRegion(obj, name=name)
 
 
-@dataclass(frozen=True)
 class DataAccess:
-    """One declared access of a task: a region plus its access mode."""
+    """One declared access of a task: a region plus its access mode.
 
-    region: DataRegion
-    mode: AccessMode
+    ``reads``/``writes`` are plain attributes precomputed at construction:
+    the dependence tracker consults them several times per access, and the
+    enum-property chain (``mode.reads`` → enum ``in`` test) is measurable at
+    submission rates in the hundreds of thousands of tasks per second.
+    """
 
-    @property
-    def reads(self) -> bool:
-        return self.mode.reads
+    __slots__ = ("region", "mode", "reads", "writes")
 
-    @property
-    def writes(self) -> bool:
-        return self.mode.writes
+    def __init__(self, region: DataRegion, mode: AccessMode) -> None:
+        self.region = region
+        self.mode = mode
+        self.reads = mode is not AccessMode.OUT
+        self.writes = mode is not AccessMode.IN
 
     @property
     def nbytes(self) -> int:
         return self.region.nbytes
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataAccess({self.region.name!r}, {self.mode.value})"
+
 
 def In(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
     """Declare a read-only (``in``) access."""
-    return DataAccess(as_region(obj, name), AccessMode.IN)
+    if type(obj) is not DataRegion:
+        obj = as_region(obj, name)
+    return DataAccess(obj, AccessMode.IN)
 
 
 def Out(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
     """Declare a write-only (``out``) access."""
-    return DataAccess(as_region(obj, name), AccessMode.OUT)
+    if type(obj) is not DataRegion:
+        obj = as_region(obj, name)
+    return DataAccess(obj, AccessMode.OUT)
 
 
 def InOut(obj: "DataRegion | np.ndarray", name: Optional[str] = None) -> DataAccess:
     """Declare a read-write (``inout``) access."""
-    return DataAccess(as_region(obj, name), AccessMode.INOUT)
+    if type(obj) is not DataRegion:
+        obj = as_region(obj, name)
+    return DataAccess(obj, AccessMode.INOUT)
 
 
 def validate_accesses(accesses: Sequence[DataAccess]) -> None:
@@ -379,6 +426,8 @@ def validate_accesses(accesses: Sequence[DataAccess]) -> None:
     modes (a common annotation bug the paper warns about in Section III-E:
     under-declared outputs silently break memoization).
     """
+    if len(accesses) < 2:
+        return  # a single access cannot conflict with itself
     seen: dict[tuple[int, int, int], AccessMode] = {}
     for access in accesses:
         key = access.region.region_key

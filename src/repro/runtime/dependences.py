@@ -1,4 +1,4 @@
-"""Dependence analysis.
+"""Dependence analysis (indexed fast path).
 
 The dependence tracker receives tasks in program (creation) order and derives
 the edges of the task dependence graph from their declared accesses, with the
@@ -14,12 +14,32 @@ usual dataflow semantics:
 Regions conflict when they belong to the same base buffer and their byte
 intervals overlap, so disjoint blocks of a matrix can be processed in
 parallel while any two accesses to the same block are ordered.
+
+This module is the optimised replacement for the seed's linear-scan tracker
+(preserved verbatim in :mod:`repro.runtime.dependences_reference` and proven
+edge-identical by ``tests/runtime/test_dependences_property.py``).  Two
+structures carry the fast path:
+
+* a **per-buffer interval index** (:class:`_BufferIndex`): an exact-interval
+  dict plus a sorted-endpoint list.  Block-structured applications re-use the
+  same byte intervals for every task, so ~100% of accesses resolve through
+  one dict probe; the sorted endpoints answer the general overlap query with
+  two bisects when the buffer's stored intervals are pairwise disjoint, and
+  fall back to the seed's linear scan only for buffers that actually hold
+  nested/overlapping intervals;
+* **monotonic epoch stamps** on tasks: instead of accumulating predecessors
+  in a per-task Python set (hashing every candidate) and scanning
+  ``readers_since_write`` for membership, every ``dependences_for`` call
+  draws a fresh epoch from one process-wide counter and stamps tasks as they
+  are collected — dedup costs one integer compare per candidate, and the
+  task stamps itself first so a task with an inout access never depends on
+  itself.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+import itertools
+from bisect import bisect_left, bisect_right
 from typing import Iterable
 
 from repro.runtime.data import DataAccess, DataRegion
@@ -27,29 +47,104 @@ from repro.runtime.task import Task
 
 __all__ = ["DependenceTracker", "RegionState"]
 
+#: Process-wide epoch clock.  Epochs are globally unique (never reused), so a
+#: task stamped by one tracker can never alias a fresh epoch of another
+#: tracker instance; ``itertools.count`` is atomic under the GIL.
+_EPOCHS = itertools.count(1)
 
-@dataclass
+
 class RegionState:
     """Last writer and subsequent readers of one byte interval."""
 
-    interval: tuple[int, int]
-    last_writer: Task | None = None
-    readers_since_write: list[Task] = field(default_factory=list)
+    __slots__ = ("start", "end", "last_writer", "readers_since_write")
+
+    def __init__(self, start: int, end: int) -> None:
+        self.start = start
+        self.end = end
+        self.last_writer: Task | None = None
+        self.readers_since_write: list[Task] = []
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.start, self.end)
+
+
+class _BufferIndex:
+    """Interval index over the region states of one base buffer.
+
+    ``exact`` resolves an exact byte interval in one dict probe.  ``keys``
+    holds ``(start, end)`` pairs sorted lexicographically with ``states``
+    parallel to it; while the stored intervals are pairwise disjoint
+    (``disjoint`` flag, the block-structured common case) the sorted ends are
+    non-decreasing too, so an overlap query is a contiguous slice found with
+    two bisects.  The first nested/overlapping insert clears the flag and
+    overlap queries fall back to a linear scan (the seed semantics).
+    """
+
+    __slots__ = ("exact", "keys", "states", "ends", "disjoint")
+
+    def __init__(self) -> None:
+        self.exact: dict[tuple[int, int], RegionState] = {}
+        self.keys: list[tuple[int, int]] = []
+        self.states: list[RegionState] = []
+        self.ends: list[int] = []
+        self.disjoint = True
+
+    def insert(self, start: int, end: int) -> RegionState:
+        """Create, register and return the state for a new exact interval."""
+        state = RegionState(start, end)
+        key = (start, end)
+        self.exact[key] = state
+        position = bisect_left(self.keys, key)
+        self.keys.insert(position, key)
+        self.states.insert(position, state)
+        self.ends.insert(position, end)
+        if self.disjoint:
+            # Overlap against either neighbour breaks the sorted-disjoint
+            # invariant that makes range queries two bisects (pairwise
+            # disjoint + sorted means any overlap shows up at a neighbour).
+            if position > 0 and self.keys[position - 1][1] > start:
+                self.disjoint = False
+            elif (
+                position + 1 < len(self.keys)
+                and self.keys[position + 1][0] < end
+            ):
+                self.disjoint = False
+        return state
+
+    def overlapping(self, start: int, end: int) -> list[RegionState]:
+        """All stored states whose interval overlaps ``[start, end)``."""
+        states = self.states
+        if not states:
+            return []
+        if self.disjoint:
+            if start < end:
+                match = self.exact.get((start, end))
+                if match is not None:
+                    # Disjoint invariant: nothing else can overlap an
+                    # interval that is stored exactly.  (Zero-length
+                    # intervals are excluded above: an empty interval never
+                    # overlaps anything, not even itself — seed semantics.)
+                    return [match]
+            lo = bisect_right(self.ends, start)
+            hi = bisect_left(self.keys, (end,))
+            return states[lo:hi]
+        return [
+            s for s in states if start < s.end and s.start < end
+        ]
 
 
 class DependenceTracker:
     """Incremental dependence analysis over a stream of tasks.
 
-    The tracker keeps, per base buffer, the list of region states (byte
-    intervals with their last writer and readers).  For the block-structured
-    applications in this reproduction the number of distinct intervals per
-    buffer is small (one per block), so the linear overlap scan per access is
-    cheap; a fully general implementation would use an interval tree, which
-    the module is structured to allow swapping in.
+    The tracker keeps, per base buffer, a :class:`_BufferIndex` of region
+    states (byte intervals with their last writer and readers).  Semantics
+    are bit-identical to the preserved seed tracker; only the lookup
+    structures differ.
     """
 
     def __init__(self) -> None:
-        self._states: dict[int, list[RegionState]] = defaultdict(list)
+        self._buffers: dict[int, _BufferIndex] = {}
         self._edges_added = 0
 
     @property
@@ -58,72 +153,91 @@ class DependenceTracker:
         return self._edges_added
 
     # -- core API -------------------------------------------------------------
-    def dependences_for(self, task: Task) -> set[Task]:
+    def dependences_for(self, task: Task) -> list[Task]:
         """Compute predecessors of ``task`` and update the tracking state.
 
-        Must be called exactly once per task, in creation order.
+        Must be called exactly once per task, in creation order.  Returns the
+        distinct predecessors (order follows discovery; callers needing set
+        semantics can wrap, the members are already deduplicated).
         """
-        predecessors: set[Task] = set()
-        for access in task.accesses:
-            predecessors.update(self._dependences_for_access(task, access))
-        # Second pass: update state *after* computing all dependences so that
-        # a task with an inout access does not depend on itself.
-        for access in task.accesses:
-            self._update_state(task, access)
-        predecessors.discard(task)
+        epoch = next(_EPOCHS)
+        # Self-stamp first: a task with an inout access never depends on
+        # itself (the seed's ``predecessors.discard(task)``).
+        task._dep_mark = epoch
+        predecessors: list[Task] = []
+        append = predecessors.append
+        buffers_get = self._buffers.get
+        accesses = task.accesses
+        # First pass: collect dependences against the pre-task state so a
+        # task reading and writing the same bytes sees only earlier tasks.
+        for access in accesses:
+            region = access.region
+            index = buffers_get(region._base_id)
+            if index is None:
+                continue
+            start, end = region.byte_interval
+            if access.writes:
+                for state in index.overlapping(start, end):
+                    writer = state.last_writer
+                    if writer is not None and writer._dep_mark != epoch:
+                        writer._dep_mark = epoch
+                        append(writer)
+                    for reader in state.readers_since_write:
+                        if reader._dep_mark != epoch:
+                            reader._dep_mark = epoch
+                            append(reader)
+            else:
+                for state in index.overlapping(start, end):
+                    writer = state.last_writer
+                    if writer is not None and writer._dep_mark != epoch:
+                        writer._dep_mark = epoch
+                        append(writer)
+        # Second pass: update state *after* computing all dependences.
+        buffers = self._buffers
+        for access in accesses:
+            region = access.region
+            base_id = region._base_id
+            index = buffers_get(base_id)
+            if index is None:
+                index = buffers[base_id] = _BufferIndex()
+            start, end = region.byte_interval
+            match = index.exact.get((start, end))
+            if match is None:
+                match = index.insert(start, end)
+            if access.writes:
+                match.last_writer = task
+                match.readers_since_write = []
+                if not index.disjoint:
+                    # A write also orders against overlapping (but
+                    # non-identical) intervals: record the writer there too
+                    # so later accesses of those intervals see it.  While the
+                    # buffer's intervals stay pairwise disjoint nothing else
+                    # can overlap the exact match — skip the query entirely.
+                    for state in index.overlapping(start, end):
+                        if state is match:
+                            continue
+                        state.last_writer = task
+                        state.readers_since_write = []
+            elif access.reads:
+                readers = match.readers_since_write
+                # Duplicate reads of one interval can only come from the
+                # *current* task (one update pass per task), so the dedup
+                # scan collapses to a last-element identity check.
+                if not readers or readers[-1] is not task:
+                    readers.append(task)
         self._edges_added += len(predecessors)
         return predecessors
 
     # -- helpers --------------------------------------------------------------
     def _overlapping_states(self, region: DataRegion) -> Iterable[RegionState]:
+        """States overlapping ``region`` (introspection/testing helper)."""
+        index = self._buffers.get(region.base_id)
+        if index is None:
+            return []
         start, end = region.byte_interval
-        for state in self._states.get(region.base_id, ()):  # pragma: no branch
-            s, e = state.interval
-            if start < e and s < end:
-                yield state
-
-    def _dependences_for_access(self, task: Task, access: DataAccess) -> set[Task]:
-        deps: set[Task] = set()
-        for state in self._overlapping_states(access.region):
-            if access.reads:
-                if state.last_writer is not None:
-                    deps.add(state.last_writer)
-            if access.writes:
-                if state.last_writer is not None:
-                    deps.add(state.last_writer)
-                deps.update(state.readers_since_write)
-        return deps
-
-    def _update_state(self, task: Task, access: DataAccess) -> None:
-        region = access.region
-        states = self._states[region.base_id]
-        match = None
-        for state in states:
-            if state.interval == region.byte_interval:
-                match = state
-                break
-        if match is None:
-            match = RegionState(interval=region.byte_interval)
-            states.append(match)
-        if access.writes:
-            match.last_writer = task
-            match.readers_since_write = []
-            # A write also orders against overlapping (but non-identical)
-            # intervals: record the writer there too so later readers of the
-            # overlapping interval see it.
-            for state in states:
-                if state is match:
-                    continue
-                s, e = state.interval
-                rs, re = region.byte_interval
-                if rs < e and s < re:
-                    state.last_writer = task
-                    state.readers_since_write = []
-        elif access.reads:
-            if task not in match.readers_since_write:
-                match.readers_since_write.append(task)
+        return index.overlapping(start, end)
 
     def reset(self) -> None:
         """Forget all state (used between independent program runs)."""
-        self._states.clear()
+        self._buffers.clear()
         self._edges_added = 0

@@ -23,7 +23,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.common.config import RuntimeConfig
 from repro.common.exceptions import RuntimeStateError
@@ -109,6 +109,23 @@ class BaseExecutor:
     def notify_ready(self, task: Task) -> None:
         """Called by the graph when a task's dependences become satisfied."""
         self.scheduler.task_ready(task, worker_hint=task.creation_index)
+
+    def notify_ready_batch(self, tasks: Sequence[Task]) -> None:
+        """Batched ready notification (graph ``on_ready_batch`` hook).
+
+        One scheduler call — and therefore one ready-queue lock acquisition —
+        per release set, preserving per-task worker hints.  Executors that
+        gate readiness per task (the simulator) override this with a loop
+        over their own :meth:`notify_ready`; custom schedulers registered
+        through the public seam that predate ``tasks_ready`` degrade to the
+        per-task path instead of breaking.
+        """
+        tasks_ready = getattr(self.scheduler, "tasks_ready", None)
+        if tasks_ready is None:
+            for task in tasks:
+                self.notify_ready(task)
+            return
+        tasks_ready(tasks, worker_hints=[task.creation_index for task in tasks])
 
     def result(self) -> RunResult:
         return self._result

@@ -7,13 +7,23 @@ zero the task becomes *ready* and is handed to the scheduler.
 
 The class is thread-safe: the threaded executor completes tasks from worker
 threads while the master may still be adding tasks.
+
+Submission fast path (see PERFORMANCE.md "Submission fast path"): per-task
+bookkeeping lives in dense arrays keyed by task id — predecessor counts in a
+flat ``list[int]``, successor slabs in a ``list[list[Task] | None]`` — so
+the hot path performs list indexing instead of dict hashing, and edges are
+kept for the lifetime of the graph (completion no longer erases them, which
+also makes :meth:`critical_path_length` timing-independent).
+:meth:`add_tasks` submits a whole batch under one lock acquisition and hands
+every immediately-ready task to the executor in a single batched
+notification (``on_ready_batch``), which is how ``Session.submit_batch``
+amortises per-task overhead.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import defaultdict
-from typing import Callable, Iterable, Optional
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.common.exceptions import RuntimeStateError
 from repro.runtime.dependences import DependenceTracker
@@ -23,46 +33,137 @@ __all__ = ["TaskDependenceGraph"]
 
 
 class TaskDependenceGraph:
-    """A dynamic task dependence graph with ready-task notification."""
+    """A dynamic task dependence graph with ready-task notification.
 
-    def __init__(self, on_ready: Optional[Callable[[Task], None]] = None) -> None:
+    ``on_ready`` is invoked (under the graph lock) for every task whose
+    dependences become satisfied; ``on_ready_batch``, when provided, replaces
+    per-task callbacks for batched submissions (one call per
+    :meth:`add_tasks` / :meth:`complete_task` release set), letting the
+    executor push the whole set into its ready queue under one queue lock.
+    """
+
+    def __init__(
+        self,
+        on_ready: Optional[Callable[[Task], None]] = None,
+        on_ready_batch: Optional[Callable[[Sequence[Task]], None]] = None,
+    ) -> None:
         self._lock = threading.RLock()
         self._tracker = DependenceTracker()
-        self._successors: dict[int, list[Task]] = defaultdict(list)
-        self._predecessor_count: dict[int, int] = {}
+        # Dense, task-id-indexed bookkeeping (grown on demand):
+        self._successors: list[Optional[list[Task]]] = []
+        self._predecessor_count: list[int] = []
+        self._predecessor_ids: list[Optional[list[int]]] = []
         self._tasks: dict[int, Task] = {}
         self._edge_count = 0
         self._finished_count = 0
         self._next_id = 0
         self._on_ready = on_ready
+        self._on_ready_batch = on_ready_batch
         self._all_done = threading.Condition(self._lock)
 
+    #: Largest accepted gap between an explicit task id and the next dense
+    #: id.  The dense arrays allocate O(max id) slots; a sparse external id
+    #: (a hash, say) would silently OOM where the pre-PR-4 dict was O(tasks).
+    MAX_ID_GAP = 1 << 20
+
     # -- construction ---------------------------------------------------------
+    def _grow(self, task_id: int) -> None:
+        """Extend the dense arrays to cover ``task_id`` (geometric growth)."""
+        needed = task_id + 1 - len(self._predecessor_count)
+        if needed > 0:
+            # Amortise: growing one slot per sequentially-ided task would
+            # make every add pay a list-concat.
+            needed = max(needed, len(self._predecessor_count) // 2 + 8)
+            self._predecessor_count.extend([0] * needed)
+            self._successors.extend([None] * needed)
+            self._predecessor_ids.extend([None] * needed)
+
+    def _add_locked(self, task: Task) -> bool:
+        """Register one task under the lock; True if immediately ready."""
+        task_id = task.task_id
+        if task_id < 0:
+            task_id = task.task_id = self._next_id
+            self._next_id = task_id + 1
+        elif task_id >= self._next_id:
+            if task_id - self._next_id > self.MAX_ID_GAP:
+                raise RuntimeStateError(
+                    f"task_id {task_id} is more than {self.MAX_ID_GAP} beyond "
+                    f"the next dense id {self._next_id}; the graph's dense "
+                    f"bookkeeping does not support sparse external ids — let "
+                    f"the runtime assign ids (task_id=-1)"
+                )
+            self._next_id = task_id + 1
+        task.creation_index = task_id
+        task._label = None  # recomputed lazily from the assigned id
+        if task_id >= len(self._predecessor_count):
+            self._grow(task_id)
+        predecessors = self._tracker.dependences_for(task)
+        pending = 0
+        if predecessors:
+            pred_ids: Optional[list[int]] = None
+            successors = self._successors
+            finished, memoized = TaskState.FINISHED, TaskState.MEMOIZED
+            for pred in predecessors:
+                state = pred.state
+                if state is not finished and state is not memoized:
+                    slab = successors[pred.task_id]
+                    if slab is None:
+                        slab = successors[pred.task_id] = []
+                    slab.append(task)
+                    if pred_ids is None:
+                        pred_ids = self._predecessor_ids[task_id] = []
+                    pred_ids.append(pred.task_id)
+                    pending += 1
+            self._edge_count += pending
+            self._predecessor_count[task_id] = pending
+        self._tasks[task_id] = task
+        return pending == 0
+
     def add_task(self, task: Task) -> Task:
         """Register a task, compute its dependences and maybe mark it ready."""
         with self._lock:
-            if task.task_id < 0:
-                task.task_id = self._next_id
-            self._next_id = max(self._next_id, task.task_id + 1)
-            task.creation_index = task.task_id
-            task.label = f"{task.task_type.name}#{task.task_id}"
-            predecessors = self._tracker.dependences_for(task)
-            pending = 0
-            for pred in predecessors:
-                if not pred.state.is_terminal:
-                    self._successors[pred.task_id].append(task)
-                    pending += 1
-                    self._edge_count += 1
-            self._predecessor_count[task.task_id] = pending
-            self._tasks[task.task_id] = task
-            if pending == 0:
+            if self._add_locked(task):
                 self._mark_ready(task)
         return task
+
+    def add_tasks(self, tasks: Iterable[Task]) -> list[Task]:
+        """Register a batch of tasks under one lock acquisition.
+
+        Dependences are computed in iteration order (identical to submitting
+        one by one); every task that is immediately ready is handed to the
+        executor in a single batched notification.  Returns the tasks, as a
+        list.
+        """
+        submitted: list[Task] = []
+        ready: list[Task] = []
+        with self._lock:
+            try:
+                for task in tasks:
+                    if self._add_locked(task):
+                        ready.append(task)
+                    submitted.append(task)
+            finally:
+                # A task that raised mid-batch (bad id, failing iterator) is
+                # not registered, but everything before it already counts
+                # toward all_finished — notify those on every path or a
+                # later drain would hang waiting for tasks no scheduler has.
+                if ready:
+                    self._mark_ready_batch(ready)
+        return submitted
 
     def _mark_ready(self, task: Task) -> None:
         task.state = TaskState.READY
         if self._on_ready is not None:
             self._on_ready(task)
+
+    def _mark_ready_batch(self, tasks: list[Task]) -> None:
+        for task in tasks:
+            task.state = TaskState.READY
+        if self._on_ready_batch is not None:
+            self._on_ready_batch(tasks)
+        elif self._on_ready is not None:
+            for task in tasks:
+                self._on_ready(task)
 
     # -- completion -----------------------------------------------------------
     def complete_task(self, task: Task, state: TaskState = TaskState.FINISHED) -> list[Task]:
@@ -83,11 +184,15 @@ class TaskDependenceGraph:
             task.state = state
             self._finished_count += 1
             released: list[Task] = []
-            for succ in self._successors.pop(task.task_id, []):
-                self._predecessor_count[succ.task_id] -= 1
-                if self._predecessor_count[succ.task_id] == 0:
-                    self._mark_ready(succ)
-                    released.append(succ)
+            successors = self._successors[task.task_id]
+            if successors:
+                counts = self._predecessor_count
+                for succ in successors:
+                    counts[succ.task_id] -= 1
+                    if counts[succ.task_id] == 0:
+                        released.append(succ)
+                if released:
+                    self._mark_ready_batch(released)
             if self.all_finished:
                 self._all_done.notify_all()
             return released
@@ -131,25 +236,26 @@ class TaskDependenceGraph:
         """Length of the longest path through the DAG.
 
         ``cost`` maps each task to its weight (default: the simulated cost
-        model).  Used by tests and by the harness to sanity-check speedup
-        upper bounds.
+        model).  Predecessor adjacency is maintained incrementally at
+        submission time (``_predecessor_ids``), so this no longer rebuilds
+        an incoming-adjacency map from the successor lists on every call —
+        and because edges are never erased on completion, the answer is the
+        same before, during and after a drain.
         """
         cost = cost or (lambda t: t.simulated_cost())
         with self._lock:
-            order = sorted(self._tasks.values(), key=lambda t: t.task_id)
             longest: dict[int, float] = {}
-            incoming: dict[int, list[Task]] = defaultdict(list)
-            for task_id, succs in self._successors.items():
-                for succ in succs:
-                    incoming[succ.task_id].append(self._tasks[task_id])
+            pred_ids = self._predecessor_ids
             best = 0.0
-            for task in order:
-                base = max(
-                    (longest.get(p.task_id, 0.0) for p in incoming[task.task_id]),
-                    default=0.0,
-                )
-                longest[task.task_id] = base + cost(task)
-                best = max(best, longest[task.task_id])
+            for task_id in sorted(self._tasks):
+                task = self._tasks[task_id]
+                preds = pred_ids[task_id] if task_id < len(pred_ids) else None
+                base = 0.0
+                if preds:
+                    base = max(longest.get(p, 0.0) for p in preds)
+                longest[task_id] = length = base + cost(task)
+                if length > best:
+                    best = length
             return best
 
     def to_networkx(self):  # pragma: no cover - optional dependency
@@ -160,13 +266,17 @@ class TaskDependenceGraph:
         with self._lock:
             for task in self._tasks.values():
                 graph.add_node(task.task_id, label=task.label, type=task.task_type.name)
-            for task_id, succs in self._successors.items():
-                for succ in succs:
-                    graph.add_edge(task_id, succ.task_id)
+            for task_id, task in self._tasks.items():
+                slab = self._successors[task_id]
+                if slab:
+                    for succ in slab:
+                        graph.add_edge(task_id, succ.task_id)
         return graph
 
     def iter_edges(self) -> Iterable[tuple[int, int]]:
         with self._lock:
-            for task_id, succs in self._successors.items():
-                for succ in succs:
-                    yield (task_id, succ.task_id)
+            for task_id in self._tasks:
+                slab = self._successors[task_id]
+                if slab:
+                    for succ in slab:
+                        yield (task_id, succ.task_id)

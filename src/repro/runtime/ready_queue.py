@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -27,6 +27,10 @@ class ReadyQueueStats:
     """Running statistics about ready-queue occupancy.
 
     Sampled occupancies feed Figure 8 (number of ready tasks over time).
+    The invariant tests rely on ``total_pushes`` counting every task that
+    ever entered the queue (batched pushes count each member) and
+    ``total_pops`` every task handed to a worker, so after a full drain
+    ``total_pushes == total_pops``.
     """
 
     def __init__(self) -> None:
@@ -36,6 +40,13 @@ class ReadyQueueStats:
 
     def on_push(self, depth: int) -> None:
         self.total_pushes += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+    def on_push_many(self, count: int, depth: int) -> None:
+        """Record ``count`` tasks entering at once; ``depth`` is the final
+        occupancy (the maximum during a monotonic batch append)."""
+        self.total_pushes += count
         if depth > self.max_depth:
             self.max_depth = depth
 
@@ -55,6 +66,19 @@ class FIFOReadyQueue:
         with self._lock:
             self._queue.append(task)
             self.stats.on_push(len(self._queue))
+
+    def push_many(
+        self,
+        tasks: Sequence[Task],
+        worker_hints: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Append a whole batch under one lock acquisition (service order is
+        identical to pushing one by one)."""
+        if not tasks:
+            return
+        with self._lock:
+            self._queue.extend(tasks)
+            self.stats.on_push_many(len(tasks), len(self._queue))
 
     def pop(self, worker_id: int = 0) -> Optional[Task]:
         with self._lock:
@@ -93,21 +117,66 @@ class WorkStealingDeques:
         self._locks = [threading.Lock() for _ in range(num_workers)]
         self._rng = np.random.default_rng(seed)
         self._rng_lock = threading.Lock()
+        # Stats are kept *per deque* and only under the deque lock the
+        # operation already holds (pushes and pops touch different locks, so
+        # one shared counter object would either race or re-serialise the
+        # whole structure on a global stats lock).  ``stats`` aggregates on
+        # read: totals are exact after a drain; ``max_depth`` is the sum of
+        # per-deque maxima — an upper bound on the true global maximum,
+        # never exceeding total pushes (the same approximate character the
+        # sampled global sums always had under concurrency).
+        self._push_counts = [0] * num_workers
+        self._pop_counts = [0] * num_workers
+        self._depth_maxes = [0] * num_workers
         self._num_workers = num_workers
-        self.stats = ReadyQueueStats()
+
+    @property
+    def stats(self) -> ReadyQueueStats:
+        """Aggregated snapshot of the per-deque counters."""
+        snapshot = ReadyQueueStats()
+        snapshot.total_pushes = sum(self._push_counts)
+        snapshot.total_pops = sum(self._pop_counts)
+        snapshot.max_depth = sum(self._depth_maxes)
+        return snapshot
+
+    def _record_push(self, target: int, count: int) -> None:
+        """Update ``target``'s counters; caller holds ``_locks[target]``."""
+        self._push_counts[target] += count
+        depth = len(self._deques[target])
+        if depth > self._depth_maxes[target]:
+            self._depth_maxes[target] = depth
 
     def push(self, task: Task, worker_hint: Optional[int] = None) -> None:
         target = worker_hint if worker_hint is not None else 0
         target %= self._num_workers
         with self._locks[target]:
             self._deques[target].append(task)
-            self.stats.on_push(sum(len(d) for d in self._deques))
+            self._record_push(target, 1)
+
+    def push_many(
+        self,
+        tasks: Sequence[Task],
+        worker_hints: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Distribute a batch to the hinted deques, one lock per target deque
+        (placement is identical to pushing one by one with the same hints)."""
+        if not tasks:
+            return
+        num_workers = self._num_workers
+        grouped: dict[int, list[Task]] = {}
+        for index, task in enumerate(tasks):
+            hint = worker_hints[index] if worker_hints is not None else 0
+            grouped.setdefault(hint % num_workers, []).append(task)
+        for target, group in grouped.items():
+            with self._locks[target]:
+                self._deques[target].extend(group)
+                self._record_push(target, len(group))
 
     def pop(self, worker_id: int = 0) -> Optional[Task]:
         worker_id %= self._num_workers
         with self._locks[worker_id]:
             if self._deques[worker_id]:
-                self.stats.on_pop()
+                self._pop_counts[worker_id] += 1
                 return self._deques[worker_id].pop()
         # steal
         with self._rng_lock:
@@ -118,7 +187,7 @@ class WorkStealingDeques:
                 continue
             with self._locks[victim]:
                 if self._deques[victim]:
-                    self.stats.on_pop()
+                    self._pop_counts[victim] += 1
                     return self._deques[victim].popleft()
         return None
 

@@ -8,7 +8,7 @@ bench.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.common.config import RuntimeConfig
 from repro.common.exceptions import ConfigurationError, SchedulerError
@@ -32,6 +32,26 @@ class Scheduler:
     def task_ready(self, task: Task, worker_hint: Optional[int] = None) -> None:
         """Called by the runtime when a task's dependences are satisfied."""
         self._queue.push(task, worker_hint)
+
+    def tasks_ready(
+        self,
+        tasks: Sequence[Task],
+        worker_hints: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Batched :meth:`task_ready`: one queue-lock acquisition per batch.
+
+        Service order and (for work stealing) deque placement are identical
+        to calling :meth:`task_ready` per task with the same hints.  Custom
+        queues registered through the scheduler seam that predate
+        ``push_many`` degrade to per-task pushes instead of breaking.
+        """
+        push_many = getattr(self._queue, "push_many", None)
+        if push_many is not None:
+            push_many(tasks, worker_hints)
+            return
+        push = self._queue.push
+        for index, task in enumerate(tasks):
+            push(task, worker_hints[index] if worker_hints is not None else None)
 
     def next_task(self, worker_id: int = 0) -> Optional[Task]:
         """Called by an idle worker; ``None`` means no work is available."""

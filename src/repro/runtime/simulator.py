@@ -101,6 +101,12 @@ class SimulatedExecutor(BaseExecutor):
         if task.task_id in self._created:
             self.scheduler.task_ready(task, worker_hint=task.creation_index)
 
+    def notify_ready_batch(self, tasks) -> None:
+        # Readiness is gated per task on the simulated creation event, so a
+        # batched release degrades to the per-task path (order preserved).
+        for task in tasks:
+            self.notify_ready(task)
+
     # -- cost helpers ----------------------------------------------------------
     def _contention(self) -> float:
         """Slow-down factor for memory-bound ATM activities.

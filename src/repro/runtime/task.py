@@ -112,7 +112,6 @@ class TaskType:
         return isinstance(other, TaskType) and other.name == self.name
 
 
-@dataclass(eq=False)
 class Task:
     """One dynamic task instance.
 
@@ -124,41 +123,90 @@ class Task:
     and writes its outputs directly through the NumPy arrays it was built
     around (the accesses exist so the runtime and ATM can reason about the
     data, exactly like OmpSs pragma clauses).
+
+    The class is slotted and most derived views (``label``, ``inputs``,
+    ``outputs``) are computed lazily and cached: task construction sits on
+    the submission fast path, and only the ATM/simulator layers ever read
+    the derived views.
     """
 
-    task_type: TaskType
-    function: Callable[..., Any]
-    accesses: Sequence[DataAccess]
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
-    task_id: int = -1
-    label: str = ""
-    state: TaskState = TaskState.CREATED
+    __slots__ = (
+        "task_type", "function", "accesses", "args", "kwargs", "task_id",
+        "state", "creation_index", "creation_time", "start_time",
+        "finish_time", "executed_on", "_label", "_inputs", "_outputs",
+        "_dep_mark",
+    )
 
-    # Filled in by the runtime / executors.
-    creation_index: int = -1
-    creation_time: float = 0.0
-    start_time: float = 0.0
-    finish_time: float = 0.0
-    executed_on: int = -1
-
-    def __post_init__(self) -> None:
-        validate_accesses(self.accesses)
-        if not callable(self.function):
+    def __init__(
+        self,
+        task_type: TaskType,
+        function: Callable[..., Any],
+        accesses: Sequence[DataAccess],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+        task_id: int = -1,
+        label: str = "",
+        state: TaskState = TaskState.CREATED,
+        creation_index: int = -1,
+        creation_time: float = 0.0,
+    ) -> None:
+        validate_accesses(accesses)
+        if not callable(function):
             raise TaskDefinitionError("task function must be callable")
-        if not self.label:
-            self.label = f"{self.task_type.name}#{self.task_id}"
+        self.task_type = task_type
+        self.function = function
+        self.accesses = accesses
+        self.args = args
+        self.kwargs = kwargs if kwargs is not None else {}
+        self.task_id = task_id
+        self.state = state
+        self.creation_index = creation_index
+        self.creation_time = creation_time
+        self.start_time = 0.0
+        self.finish_time = 0.0
+        self.executed_on = -1
+        self._label = label or None
+        self._inputs: Optional[tuple] = None
+        self._outputs: Optional[tuple] = None
+        #: Monotonic epoch stamp used by the dependence tracker for O(1)
+        #: predecessor dedup (see repro.runtime.dependences).
+        self._dep_mark = 0
+
+    # -- labelling -----------------------------------------------------------
+    @property
+    def label(self) -> str:
+        """``"<type>#<task_id>"``, computed lazily (one f-string per task is
+        measurable at submission rates; most labels are never read)."""
+        label = self._label
+        if label is None:
+            label = f"{self.task_type.name}#{self.task_id}"
+            if self.task_id >= 0:
+                # Cache only once the runtime has assigned the final id.
+                self._label = label
+        return label
+
+    @label.setter
+    def label(self, value: str) -> None:
+        self._label = value or None
 
     # -- data views ----------------------------------------------------------
     @property
-    def inputs(self) -> list[DataAccess]:
-        """Accesses the task reads (``in`` and ``inout``)."""
-        return [a for a in self.accesses if a.reads]
+    def inputs(self) -> tuple[DataAccess, ...]:
+        """Accesses the task reads (``in`` and ``inout``), cached."""
+        inputs = self._inputs
+        if inputs is None:
+            inputs = tuple(a for a in self.accesses if a.reads)
+            self._inputs = inputs
+        return inputs
 
     @property
-    def outputs(self) -> list[DataAccess]:
-        """Accesses the task writes (``out`` and ``inout``)."""
-        return [a for a in self.accesses if a.writes]
+    def outputs(self) -> tuple[DataAccess, ...]:
+        """Accesses the task writes (``out`` and ``inout``), cached."""
+        outputs = self._outputs
+        if outputs is None:
+            outputs = tuple(a for a in self.accesses if a.writes)
+            self._outputs = outputs
+        return outputs
 
     @property
     def input_bytes(self) -> int:

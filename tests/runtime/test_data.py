@@ -58,6 +58,28 @@ class TestDataRegion:
         r2 = DataRegion(np.zeros(10))
         assert not r1.overlaps(r2)
 
+    def test_reversed_view_interval_stays_inside_buffer(self):
+        """Regression: a negative-stride view's data pointer addresses its
+        first *logical* element (the highest address), so the interval must
+        be anchored at the lowest touched byte, not extended upwards past
+        the end of the buffer."""
+        base = np.zeros(10, dtype=np.float64)
+        reversed_region = DataRegion(base[::-1])
+        assert reversed_region.byte_interval == (0, 80)
+        assert reversed_region.overlaps(DataRegion(base[:5]))
+        assert DataRegion(base[:5]).overlaps(reversed_region)
+        tail = DataRegion(base[8:][::-1])
+        assert tail.byte_interval == (64, 80)
+        assert not tail.overlaps(DataRegion(base[:5]))
+
+    def test_strided_1d_view_interval_covers_touched_bytes(self):
+        """Regression: 1-D strided views used the contiguous formula
+        (nbytes from the data pointer), under-covering the touched span."""
+        base = np.zeros(10, dtype=np.float64)
+        strided = DataRegion(base[::2])  # touches bytes 0..64+8
+        assert strided.byte_interval == (0, 72)
+        assert strided.overlaps(DataRegion(base[8:9]))  # byte 64..72
+
     def test_region_key_stable(self):
         base = np.zeros(16)
         assert DataRegion(base[4:8]).region_key == DataRegion(base[4:8]).region_key

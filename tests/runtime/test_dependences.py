@@ -1,4 +1,8 @@
-"""Tests for the dependence tracker (RAW / WAW / WAR over byte regions)."""
+"""Tests for the dependence tracker (RAW / WAW / WAR over byte regions).
+
+The indexed tracker returns predecessors as a deduplicated *list* (set
+semantics without per-task set construction); tests compare via set().
+"""
 
 from __future__ import annotations
 
@@ -24,8 +28,8 @@ class TestBasicDependences:
         tracker = DependenceTracker()
         writer = make_task([Out(data)], 0)
         reader = make_task([In(data)], 1)
-        assert tracker.dependences_for(writer) == set()
-        assert tracker.dependences_for(reader) == {writer}
+        assert set(tracker.dependences_for(writer)) == set()
+        assert set(tracker.dependences_for(reader)) == {writer}
 
     def test_write_after_write(self):
         data = np.zeros(8)
@@ -33,7 +37,7 @@ class TestBasicDependences:
         first = make_task([Out(data)], 0)
         second = make_task([Out(data)], 1)
         tracker.dependences_for(first)
-        assert tracker.dependences_for(second) == {first}
+        assert set(tracker.dependences_for(second)) == {first}
 
     def test_write_after_read(self):
         data = np.zeros(8)
@@ -54,13 +58,13 @@ class TestBasicDependences:
         r1 = make_task([In(data)], 0)
         r2 = make_task([In(data)], 1)
         tracker.dependences_for(r1)
-        assert tracker.dependences_for(r2) == set()
+        assert set(tracker.dependences_for(r2)) == set()
 
     def test_inout_does_not_depend_on_itself(self):
         data = np.zeros(8)
         tracker = DependenceTracker()
         task = make_task([InOut(data)], 0)
-        assert tracker.dependences_for(task) == set()
+        assert set(tracker.dependences_for(task)) == set()
 
     def test_chain_of_inout_serialises(self):
         data = np.zeros(8)
@@ -69,8 +73,8 @@ class TestBasicDependences:
         t1 = make_task([InOut(data)], 1)
         t2 = make_task([InOut(data)], 2)
         tracker.dependences_for(t0)
-        assert tracker.dependences_for(t1) == {t0}
-        assert tracker.dependences_for(t2) == {t1}
+        assert set(tracker.dependences_for(t1)) == {t0}
+        assert set(tracker.dependences_for(t2)) == {t1}
 
 
 class TestRegionGranularity:
@@ -80,7 +84,7 @@ class TestRegionGranularity:
         left = make_task([Out(base[:32])], 0)
         right = make_task([Out(base[32:])], 1)
         tracker.dependences_for(left)
-        assert tracker.dependences_for(right) == set()
+        assert set(tracker.dependences_for(right)) == set()
 
     def test_overlapping_blocks_conflict(self):
         base = np.zeros(64)
@@ -88,7 +92,7 @@ class TestRegionGranularity:
         left = make_task([Out(base[:40])], 0)
         right = make_task([In(base[32:])], 1)
         tracker.dependences_for(left)
-        assert tracker.dependences_for(right) == {left}
+        assert set(tracker.dependences_for(right)) == {left}
 
     def test_writer_to_subregion_orders_full_reader(self):
         base = np.zeros(64)
@@ -103,7 +107,7 @@ class TestRegionGranularity:
         a = make_task([Out(np.zeros(8))], 0)
         b = make_task([In(np.zeros(8))], 1)
         tracker.dependences_for(a)
-        assert tracker.dependences_for(b) == set()
+        assert set(tracker.dependences_for(b)) == set()
 
 
 class TestTrackerBookkeeping:
@@ -122,7 +126,7 @@ class TestTrackerBookkeeping:
         tracker.dependences_for(make_task([Out(data)], 0))
         tracker.reset()
         assert tracker.edges_added == 0
-        assert tracker.dependences_for(make_task([In(data)], 1)) == set()
+        assert set(tracker.dependences_for(make_task([In(data)], 1))) == set()
 
     @given(st.lists(st.tuples(st.integers(0, 3), st.booleans()), min_size=1, max_size=30))
     @settings(max_examples=40, deadline=None)

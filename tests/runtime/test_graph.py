@@ -140,3 +140,123 @@ class TestAnalysis:
         exported = graph.to_networkx()
         assert exported.number_of_nodes() == 2
         assert exported.number_of_edges() == 1
+
+    def test_critical_path_of_diamond(self):
+        """Regression: diamond DAG critical path = source + one branch + join."""
+        source = np.zeros(4)
+        left, right = np.zeros(4), np.zeros(4)
+        graph = TaskDependenceGraph()
+        graph.add_task(make_task([Out(source)]))
+        graph.add_task(make_task([In(source), Out(left)]))
+        graph.add_task(make_task([In(source), Out(right)]))
+        graph.add_task(make_task([In(left), In(right)]))
+        costs = {0: 1.0, 1: 5.0, 2: 2.0, 3: 1.0}
+        length = graph.critical_path_length(cost=lambda t: costs[t.task_id])
+        assert length == pytest.approx(7.0)  # 1 + max(5, 2) + 1
+
+    def test_critical_path_survives_completion(self):
+        """Regression: completing tasks must not erase edges — the seed
+        popped successor lists, so the critical path silently shrank after a
+        drain."""
+        data = np.zeros(4)
+        graph = TaskDependenceGraph()
+        chain = [graph.add_task(make_task([InOut(data)])) for _ in range(3)]
+        before = graph.critical_path_length(cost=lambda t: 2.0)
+        for task in chain:
+            graph.complete_task(task)
+        after = graph.critical_path_length(cost=lambda t: 2.0)
+        assert before == after == pytest.approx(6.0)
+        assert sorted(graph.iter_edges()) == [(0, 1), (1, 2)]
+
+
+class TestBatchedSubmission:
+    def test_add_tasks_matches_per_task_edges(self):
+        data = np.zeros(16)
+        blocks = [np.zeros(8) for _ in range(4)]
+
+        def build_tasks():
+            tasks = [make_task([Out(block)]) for block in blocks]
+            tasks.append(make_task([In(blocks[0]), In(blocks[1]), Out(data)]))
+            tasks.append(make_task([InOut(data)]))
+            return tasks
+
+        one_by_one = TaskDependenceGraph()
+        for task in build_tasks():
+            one_by_one.add_task(task)
+        batched = TaskDependenceGraph()
+        batched.add_tasks(build_tasks())
+        assert sorted(batched.iter_edges()) == sorted(one_by_one.iter_edges())
+        assert batched.edge_count == one_by_one.edge_count
+        assert batched.task_count == one_by_one.task_count
+
+    def test_add_tasks_notifies_ready_in_creation_order(self):
+        ready: list = []
+        graph = TaskDependenceGraph(
+            on_ready_batch=lambda tasks: ready.extend(tasks)
+        )
+        data = np.zeros(4)
+        tasks = [
+            make_task([Out(np.zeros(4))]),
+            make_task([Out(data)]),
+            make_task([In(data)]),   # blocked by the previous task
+            make_task([Out(np.zeros(4))]),
+        ]
+        graph.add_tasks(tasks)
+        assert ready == [tasks[0], tasks[1], tasks[3]]
+        assert all(t.state == TaskState.READY for t in ready)
+        assert tasks[2].state == TaskState.CREATED
+
+    def test_complete_task_releases_through_batch_hook(self):
+        batches: list = []
+        graph = TaskDependenceGraph(on_ready_batch=batches.append)
+        data = np.zeros(4)
+        writer = make_task([Out(data)])
+        readers = [make_task([In(data)]) for _ in range(3)]
+        graph.add_tasks([writer, *readers])
+        assert batches == [[writer]]
+        released = graph.complete_task(writer)
+        assert released == readers
+        assert batches[1] == readers
+
+    def test_add_tasks_falls_back_to_per_task_on_ready(self):
+        ready: list = []
+        graph = TaskDependenceGraph(on_ready=ready.append)
+        tasks = [make_task([Out(np.zeros(4))]) for _ in range(3)]
+        graph.add_tasks(tasks)
+        assert ready == tasks
+
+    def test_add_tasks_empty_iterable(self):
+        graph = TaskDependenceGraph()
+        assert graph.add_tasks([]) == []
+        assert graph.task_count == 0
+
+    def test_sparse_external_id_rejected(self):
+        """The dense id-indexed arrays are O(max id): a far-out explicit id
+        must fail loudly instead of silently allocating gigabytes."""
+        graph = TaskDependenceGraph()
+        orphan = make_task([Out(np.zeros(4))])
+        orphan.task_id = TaskDependenceGraph.MAX_ID_GAP + 2
+        with pytest.raises(RuntimeStateError, match="sparse external ids"):
+            graph.add_task(orphan)
+
+    def test_failing_batch_still_notifies_registered_tasks(self):
+        """Regression: a mid-batch failure must not strand already-registered
+        ready tasks unnotified (a later drain would hang)."""
+        ready: list = []
+        graph = TaskDependenceGraph(on_ready_batch=ready.extend)
+        good = make_task([Out(np.zeros(4))])
+        bad = make_task([Out(np.zeros(4))])
+        bad.task_id = TaskDependenceGraph.MAX_ID_GAP + 2
+        with pytest.raises(RuntimeStateError):
+            graph.add_tasks([good, bad])
+        assert ready == [good]
+        assert good.state == TaskState.READY
+        assert graph.task_count == 1
+
+    def test_moderately_sparse_id_accepted(self):
+        graph = TaskDependenceGraph()
+        task = make_task([Out(np.zeros(4))])
+        task.task_id = 5000
+        graph.add_task(task)
+        follow = graph.add_task(make_task([Out(np.zeros(4))]))
+        assert follow.task_id == 5001
