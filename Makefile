@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures examples ci
+.PHONY: test bench bench-check bench-quick figures examples net-loopback net-soak ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -34,8 +34,22 @@ examples:
 	$(PYTHON) examples/option_pricing.py tiny
 	$(PYTHON) examples/adaptive_approximation.py tiny
 
-# Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke, perf gates.
+# Network backend: parity + fault-injection matrix over the loopback
+# transport, cache-less and fail-fast (mirrors the CI step), and the soak
+# tier (500-task churn with mid-drain worker loss, excluded from tier-1).
+net-loopback:
+	$(PYTHON) -m pytest tests/runtime/test_executor_parity.py \
+		tests/runtime/test_net_faults.py \
+		tests/runtime/test_net_wire_property.py -p no:cacheprovider -x -q
+
+net-soak:
+	$(PYTHON) -m pytest -m net_soak -q
+
+# Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke,
+# network-loopback matrix + soak, perf gates.
 ci:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) examples
+	$(MAKE) net-loopback
+	$(MAKE) net-soak
 	$(PYTHON) scripts/bench.py --check

@@ -60,7 +60,7 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 3
+        assert report["schema_version"] == 4
         assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
         assert len(report["endtoend"]) == 6
@@ -69,6 +69,8 @@ class TestReport:
         for row in backend["rows"]:
             assert row["checksums_match"], row
             assert row["speedup_process_vs_threaded"] > 0
+            # Schema 4: the network (loopback) backend rides the same rows.
+            assert row["network_s"] > 0
         for run in report["endtoend"]:
             assert len(run["output_checksum"]) == 16
         # ATM-off runs must never pay key-cache costs.

@@ -23,11 +23,22 @@ from repro.session import In, Out, ReproConfig, Session
 
 #: One declarative config tree describes the whole run; ``atm.mode`` is
 #: swapped between "none" and "static" below.  The same tree could come from
-#: a TOML/JSON file (ReproConfig.from_file) or the environment (from_env).
+#: a TOML/JSON file (ReproConfig.from_file); environment overrides are
+#: layered on top below, so e.g.
+#: ``REPRO_RUNTIME_EXECUTOR=network python examples/quickstart.py`` runs the
+#: identical program on network loopback workers — backend selection is pure
+#: configuration (DESIGN.md §6).
 BASE_CONFIG = {
     "runtime": {"executor": "simulated", "num_threads": 8},
     "atm": {"mode": "none"},
 }
+
+
+# The task body lives at module level so it pickles by reference: the
+# process/network backends ship functions by (module, qualname), not by
+# value.  ``@s.task`` binds it to a concrete session inside run().
+def matvec(matrix: In, vector: In, result: Out) -> None:
+    result[:] = matrix @ vector
 
 
 def make_workload(n_tasks: int = 64, n_unique: int = 8, size: int = 128):
@@ -45,14 +56,19 @@ def make_workload(n_tasks: int = 64, n_unique: int = 8, size: int = 128):
 def run(mode: str):
     """Run the program under one ATM mode; return (time, results, session)."""
     matrices, vectors, results = make_workload()
-    config = ReproConfig.from_dict(BASE_CONFIG).with_overrides(atm={"mode": mode})
+    # Environment variables override the base tree (REPRO_RUNTIME_EXECUTOR,
+    # REPRO_RUNTIME_NET_ENDPOINTS, ...): any registered backend is reachable
+    # without touching this file.  The mode comparison below stays in code.
+    config = ReproConfig.from_env(
+        base=ReproConfig.from_dict(BASE_CONFIG)
+    ).with_overrides(atm={"mode": mode})
     with Session(config) as s:
         # One annotated function = one task type.  `memoizable=True` is the
         # opt-in the paper requires from the programmer (Section III-E); the
         # In/Out annotations replace a separate accesses lambda.
-        @s.task(memoizable=True, cost_model=lambda task: 0.01 * task.input_bytes)
-        def matvec(matrix: In, vector: In, result: Out) -> None:
-            result[:] = matrix @ vector
+        submit_matvec = s.task(
+            memoizable=True, cost_model=lambda task: 0.01 * task.input_bytes
+        )(matvec)
 
         # Batched submission: every call inside the block is buffered and
         # handed to the dependence graph in one batch (one lock acquisition,
@@ -61,21 +77,23 @@ def run(mode: str):
         # path").  Dependences and results are identical to per-call submits.
         with s.batch():
             for matrix, vector, result in zip(matrices, vectors, results):
-                matvec(matrix, vector, result)
+                submit_matvec(matrix, vector, result)
     return s.result.elapsed, results, s
 
 
 def main() -> None:
-    baseline_time, baseline_results, _ = run(mode="none")
+    baseline_time, baseline_results, baseline_session = run(mode="none")
     atm_time, atm_results, session = run(mode="static")
 
     assert all(np.allclose(a, b) for a, b in zip(baseline_results, atm_results)), \
         "Static ATM must never change results"
 
     stats = session.stats
+    unit = baseline_session.result.time_unit  # "us" simulated, "s" wall-clock
     print("Quickstart: task memoization with ATM")
-    print(f"  simulated time without ATM : {baseline_time:10.1f} us")
-    print(f"  simulated time with ATM    : {atm_time:10.1f} us")
+    print(f"  backend                    : {session.config.runtime.executor}")
+    print(f"  time without ATM           : {baseline_time:10.4g} {unit}")
+    print(f"  time with ATM              : {atm_time:10.4g} {unit}")
     print(f"  speedup                    : {baseline_time / atm_time:10.2f}x")
     print(f"  tasks seen                 : {stats['tasks_seen']:10d}")
     print(f"  THT hits                   : {stats['tht_hits']:10d}")

@@ -86,8 +86,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=4,
-        help="report generation number (default 4)",
+        "--bench-id", type=int, default=5,
+        help="report generation number (default 5)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -156,7 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  backend {row['benchmark']:13} serial {row['serial_s']:6.3f}s  "
               f"threaded{row['workers']} {row['threaded_s']:6.3f}s  "
               f"process{row['workers']} {row['process_s']:6.3f}s  "
-              f"p/t speedup {row['speedup_process_vs_threaded']:.2f}x{limited}")
+              f"network{row['workers']} {row['network_s']:6.3f}s  "
+              f"p/t speedup {row['speedup_process_vs_threaded']:.2f}x  "
+              f"net disp {row['net_dispatch_overhead_ms_per_task']:.3f}ms/task"
+              f"{limited}")
 
     failures = check_report(report)
     if failures:

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Standalone worker daemon for the network execution backend.
+
+Serves the wire protocol of :mod:`repro.runtime.net_wire` over TCP: every
+accepted connection gets its own service thread running the *same*
+:func:`repro.runtime.net_transport.serve_connection` loop the loopback
+transport runs in-process, with per-connection ATM engine replicas built
+from the executor's hello message.
+
+Usage::
+
+    python scripts/net_worker.py --host 127.0.0.1 --port 9101
+    python scripts/net_worker.py --port 0 --announce   # ephemeral port, printed
+
+then point a session at it from config alone (DESIGN.md §6)::
+
+    REPRO_RUNTIME_EXECUTOR=network \
+    REPRO_RUNTIME_NET_ENDPOINTS=127.0.0.1:9101 python my_program.py
+
+Task functions are pickled *by reference*: the modules defining them must be
+importable on this daemon's PYTHONPATH, exactly like the process backend's
+spawn start method.
+"""
+
+from __future__ import annotations
+
+import argparse
+import socketserver
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.runtime.net_transport import serve_connection  # noqa: E402
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        worker_id = getattr(self.server, "next_worker_id", 0)
+        self.server.next_worker_id = worker_id + 1
+        serve_connection(self.request, worker_id=worker_id)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    next_worker_id = 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9101,
+                        help="bind port (0 = ephemeral, default 9101)")
+    parser.add_argument("--announce", action="store_true",
+                        help="print 'listening <host>:<port>' once bound "
+                             "(for harnesses starting daemons on port 0)")
+    args = parser.parse_args(argv)
+
+    server = _Server((args.host, args.port), _Handler)
+    host, port = server.server_address[:2]
+    if args.announce:
+        print(f"listening {host}:{port}", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+    return 0
+
+
+def serve_in_thread(host: str = "127.0.0.1", port: int = 0):
+    """Start a daemon in-process (tests/benchmarks); returns (server, addr).
+
+    Call ``server.shutdown(); server.server_close()`` to stop it.
+    """
+    server = _Server((host, port), _Handler)
+    thread = threading.Thread(target=server.serve_forever, args=(0.2,), daemon=True)
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    return server, f"{bound_host}:{bound_port}"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

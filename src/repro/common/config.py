@@ -199,6 +199,22 @@ class RuntimeConfig:
     mp_start_method:
         ``multiprocessing`` start method for the process backend (``None``
         picks ``"fork"`` where available, else ``"spawn"``).
+    net_endpoints:
+        Worker endpoints for the ``"network"`` backend (DESIGN.md §4.5).
+        Either ``"loopback"`` / ``"loopback:<n>"`` — spawn ``n`` in-process
+        loopback workers (default: ``mp_workers`` falling back to
+        ``num_threads``) speaking the real wire protocol over socketpairs —
+        or a comma-separated list of ``host:port`` addresses of
+        ``scripts/net_worker.py`` daemons.
+    net_timeout_s:
+        Heartbeat/ack timeout of the network backend: an endpoint with
+        outstanding work that stays silent this long is declared dead and
+        its chunks are resubmitted elsewhere.  Must exceed the worst-case
+        wall-clock of one dispatched chunk.
+    net_max_retries:
+        How many times one task may be resubmitted after endpoint failures
+        before the drain raises
+        :class:`~repro.common.exceptions.NetworkDrainError`.
     """
 
     num_threads: int = 8
@@ -210,6 +226,9 @@ class RuntimeConfig:
     mp_workers: Optional[int] = None
     mp_chunk_size: int = 8
     mp_start_method: Optional[str] = None
+    net_endpoints: str = "loopback"
+    net_timeout_s: float = 30.0
+    net_max_retries: int = 2
 
     def __post_init__(self) -> None:
         self.validate()
@@ -230,6 +249,19 @@ class RuntimeConfig:
         if self.mp_start_method not in (None, "fork", "spawn", "forkserver"):
             raise ConfigurationError(
                 f"unknown mp_start_method {self.mp_start_method!r}"
+            )
+        if not self.net_endpoints or not self.net_endpoints.strip():
+            raise ConfigurationError(
+                "net_endpoints must name at least one endpoint "
+                "('loopback', 'loopback:<n>' or 'host:port,...')"
+            )
+        if self.net_timeout_s <= 0:
+            raise ConfigurationError(
+                f"net_timeout_s must be > 0, got {self.net_timeout_s}"
+            )
+        if self.net_max_retries < 0:
+            raise ConfigurationError(
+                f"net_max_retries must be >= 0, got {self.net_max_retries}"
             )
 
     def with_overrides(self, **kwargs) -> "RuntimeConfig":

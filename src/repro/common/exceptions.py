@@ -40,6 +40,28 @@ class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class WireProtocolError(ReproError):
+    """A network frame failed to decode (bad magic, length or checksum).
+
+    Raised by :mod:`repro.runtime.net_wire` when a peer sends bytes that are
+    not a well-formed frame; the network executor treats the sending endpoint
+    as failed and resubmits its work elsewhere.
+    """
+
+
+class NetworkTransportError(ReproError):
+    """A network endpoint could not be reached or its connection broke."""
+
+
+class NetworkDrainError(ReproError):
+    """A network-backend drain cannot complete.
+
+    Raised — instead of hanging — when every endpoint has failed, a task
+    exhausted its resubmission budget (``RuntimeConfig.net_max_retries``), or
+    the drain deadline expired with work still outstanding.
+    """
+
+
 class WorkloadError(ReproError):
     """An application workload was configured with invalid parameters."""
 

@@ -110,7 +110,7 @@ class Registry:
 #: Execution backends (DESIGN.md §4); factories take (config, engine, sim_config).
 EXECUTORS = Registry(
     "executor",
-    builtins=("serial", "threaded", "process", "simulated"),
+    builtins=("serial", "threaded", "process", "simulated", "network"),
     provider_module="repro.runtime.executor",
 )
 

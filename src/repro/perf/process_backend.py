@@ -1,10 +1,16 @@
-"""End-to-end execution-backend comparison (serial / threaded / process).
+"""End-to-end execution-backend comparison (serial/threaded/process/network).
 
-Runs whole benchmark programs — no ATM, pure backend cost — on the three
+Runs whole benchmark programs — no ATM, pure backend cost — on the four
 real executors at a fixed worker count and records wall-clock times, the
-process-over-threaded speedup and an output-checksum cross-check (the parity
-matrix in ``tests/runtime/test_executor_parity.py`` is the exhaustive
-version; the checksums here anchor the perf rows to the same outputs).
+process-over-threaded speedup, per-task dispatch overheads and an
+output-checksum cross-check (the parity matrix in
+``tests/runtime/test_executor_parity.py`` is the exhaustive version; the
+checksums here anchor the perf rows to the same outputs).
+
+The ``network`` row runs the loopback transport (in-process workers over
+socketpairs), so its dispatch overhead is the *wire cost* — framing, CRC,
+byte-buffer shipping both ways — without real network latency; see
+PERFORMANCE.md ("Network backend dispatch overhead") for how to read it.
 
 Interpretation note recorded in the report: the ``ThreadedExecutor`` is
 GIL-bound, so on a multi-core host the process backend is the only one whose
@@ -36,7 +42,7 @@ DEFAULT_BACKEND_CASES = (
     ("blackscholes", "tiny"),
 )
 
-EXECUTORS = ("serial", "threaded", "process")
+EXECUTORS = ("serial", "threaded", "process", "network")
 
 
 def _checksum(app) -> str:
@@ -69,11 +75,15 @@ def bench_process_backend(workers: int = 4, cases=DEFAULT_BACKEND_CASES) -> dict
             "serial_s": round(walls["serial"], 4),
             "threaded_s": round(walls["threaded"], 4),
             "process_s": round(walls["process"], 4),
+            "network_s": round(walls["network"], 4),
             "speedup_process_vs_threaded": round(
                 safe_ratio(walls["threaded"], walls["process"]), 3
             ),
             "dispatch_overhead_ms_per_task": round(
                 safe_ratio((walls["process"] - walls["serial"]) * 1e3, tasks), 4
+            ),
+            "net_dispatch_overhead_ms_per_task": round(
+                safe_ratio((walls["network"] - walls["serial"]) * 1e3, tasks), 4
             ),
             "checksums_match": len(set(checksums.values())) == 1,
             "output_checksum": checksums["serial"],

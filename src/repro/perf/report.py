@@ -1,7 +1,8 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 3):
+perf trajectory.  Schema (``schema_version`` 4 — adds the ``network_s`` /
+``net_dispatch_overhead_ms_per_task`` columns to the backend rows):
 
 .. code-block:: text
 
@@ -20,10 +21,11 @@ perf trajectory.  Schema (``schema_version`` 3):
         "simulator": {...}
       },
       "endtoend": [ {per-run record, incl. output_checksum}, ... ],
-      "process_backend": {            # serial/threaded/process comparison
+      "process_backend": {   # serial/threaded/process/network comparison
         "workers": ..., "cpu_count": ..., "hardware_limited": ...,
         "rows": [ {benchmark, *_s walls, speedup_process_vs_threaded,
-                    dispatch_overhead_ms_per_task, checksums_match}, ... ]
+                    dispatch_overhead_ms_per_task,
+                    net_dispatch_overhead_ms_per_task, checksums_match}, ... ]
       },
       "checks": {"keygen_speedup_multi_input": <float>,
                   "shuffle_memory_reduction": <float>,
@@ -65,7 +67,7 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:

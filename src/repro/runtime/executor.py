@@ -353,6 +353,12 @@ def _make_simulated(config, engine, sim_config):
     return SimulatedExecutor(config=config, engine=engine, sim_config=sim_config)
 
 
+def _make_network(config, engine, sim_config):
+    from repro.runtime.net_executor import NetworkExecutor
+
+    return NetworkExecutor(config=config, engine=engine)
+
+
 EXECUTORS.register(
     "serial",
     lambda config, engine, sim_config: SerialExecutor(config=config, engine=engine),
@@ -365,6 +371,10 @@ EXECUTORS.register(
 )
 EXECUTORS.register("process", _make_process, replace=True)
 EXECUTORS.register("simulated", _make_simulated, replace=True)
+# The network backend lands on the same registration seam DESIGN.md §6.2
+# documents for out-of-tree plugins (register_executor("network", factory));
+# shipping in-tree it registers here like every other builtin.
+EXECUTORS.register("network", _make_network, replace=True)
 
 
 def build_executor(

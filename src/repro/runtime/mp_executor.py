@@ -58,7 +58,7 @@ from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.shm import SharedBufferRegistry, SharedVersionTable, WorkerArena
 from repro.runtime.task import Task, TaskState, TaskType
 
-__all__ = ["ProcessExecutor"]
+__all__ = ["ProcessExecutor", "make_engine_spec"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +116,33 @@ class _EngineSpec:
     mode: str
     config: Any  # ATMConfig
     p: Optional[float]
+
+
+def make_engine_spec(engine) -> Optional[_EngineSpec]:
+    """Serializable recipe replicating ``engine`` into a remote worker.
+
+    Shared by the process backend and the network backend
+    (:mod:`repro.runtime.net_executor`): both run per-worker engine replicas
+    that merge back through the snapshot/merge delta protocol.
+    """
+    if engine is None:
+        return None
+    policy = getattr(engine, "policy", None)
+    config = getattr(engine, "config", None)
+    if policy is None or config is None:
+        raise RuntimeStateError(
+            "worker-replicated backends require an ATMEngine-compatible "
+            "engine (with .policy and .config) or engine=None; custom "
+            "in-process engines cannot be replicated into workers"
+        )
+    # Policies built through the registry carry their registered name —
+    # the faithful recipe for plugin policies, whose class-level ``mode``
+    # attribute is whatever builtin they subclass.  Hand-assembled policy
+    # instances fall back to that class attribute.  Plugin policies
+    # require the plugin module to be imported (or the start method to be
+    # fork) wherever the worker runs.
+    mode = getattr(policy, "registry_name", None) or policy.mode.value
+    return _EngineSpec(mode=mode, config=policy.config, p=policy.config.p)
 
 
 def _build_worker_engine(spec: Optional[_EngineSpec]):
@@ -313,6 +340,8 @@ class ProcessExecutor(BaseExecutor):
         self._result_queue = self._ctx.Queue()
         self._control_queues: list = []
         self._processes: list = []
+        # Validates replicability early when an engine was passed; the spec
+        # itself is recomputed at spawn time (see _ensure_workers).
         self._engine_spec = self._make_engine_spec(engine)
         self._closed = False
         # Registered up front so even a never-drained executor releases its
@@ -331,30 +360,18 @@ class ProcessExecutor(BaseExecutor):
     # -- pool management ---------------------------------------------------------
     @staticmethod
     def _make_engine_spec(engine) -> Optional[_EngineSpec]:
-        if engine is None:
-            return None
-        policy = getattr(engine, "policy", None)
-        config = getattr(engine, "config", None)
-        if policy is None or config is None:
-            raise RuntimeStateError(
-                "ProcessExecutor requires an ATMEngine-compatible engine "
-                "(with .policy and .config) or engine=None; custom in-process "
-                "engines cannot be replicated into worker processes"
-            )
-        # Policies built through the registry carry their registered name —
-        # the faithful recipe for plugin policies, whose class-level ``mode``
-        # attribute is whatever builtin they subclass.  Hand-assembled policy
-        # instances fall back to that class attribute.  Plugin policies
-        # require a fork start method (the child inherits the parent's
-        # registrations) or the plugin module to be imported in workers.
-        mode = getattr(policy, "registry_name", None) or policy.mode.value
-        return _EngineSpec(mode=mode, config=policy.config, p=policy.config.p)
+        return make_engine_spec(engine)
 
     def _ensure_workers(self) -> None:
         if self._closed:
             raise RuntimeStateError("ProcessExecutor already closed")
         if self._processes:
             return
+        # Recomputed at spawn time, not construction: Session assigns its
+        # assembled engine to a pre-built engine-less executor *after*
+        # __init__, and a spec snapshotted there would silently run the
+        # workers without ATM.
+        self._engine_spec = self._make_engine_spec(self.engine)
         for worker_id in range(self.num_workers):
             control = self._ctx.SimpleQueue()
             process = self._ctx.Process(

@@ -1,0 +1,510 @@
+"""Network-transport execution backend (DESIGN.md §4.5).
+
+:class:`NetworkExecutor` drives remote workers over the length-prefixed
+frame protocol of :mod:`repro.runtime.net_wire`: the parent keeps the task
+dependence graph, the scheduler and the reference ATM engine; workers — in
+the same process behind :class:`~repro.runtime.net_transport.LoopbackEndpoint`
+socketpairs, or on other hosts behind ``scripts/net_worker.py`` TCP daemons —
+rebuild task chunks from shipped byte buffers, run the full ATM protocol
+against per-worker engine replicas, and ship written region bytes back.
+
+The structural differences from the process backend (§4.3), which this
+executor otherwise mirrors deliberately:
+
+* **No shared memory.**  Every dispatch serializes the byte spans a chunk
+  touches; every completion carries the written bytes home, applied to the
+  parent arrays *before* successors are released.  Dispatch cost is
+  therefore proportional to touched data, not O(1) handles — see
+  PERFORMANCE.md ("Network backend dispatch overhead").
+* **Failure is expected.**  Per-chunk acks prove receipt, heartbeat
+  timeouts (``RuntimeConfig.net_timeout_s``) detect dead or wedged
+  endpoints, and the unfinished chunks of a failed endpoint are resubmitted
+  to the surviving ones — the failed endpoint stays excluded.  A task can
+  be resubmitted at most ``net_max_retries`` times; exhausting that budget,
+  losing every endpoint, or exceeding the drain deadline raises
+  :class:`~repro.common.exceptions.NetworkDrainError` instead of hanging.
+  Resubmission is safe by construction: a dispatched task's input bytes
+  cannot change until its own completion (dependence exclusivity), and
+  writes are only applied from the first accepted result — messages from
+  failed endpoints are dropped.
+* **ATM deltas are best-effort.**  Live endpoints merge their engine deltas
+  at the drain barrier exactly like process workers; a dead endpoint's
+  unmerged delta is lost (reuse statistics, never correctness — its
+  unacknowledged tasks were re-run elsewhere).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+import weakref
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import (
+    NetworkDrainError,
+    NetworkTransportError,
+    RuntimeStateError,
+)
+from repro.runtime.atm_protocol import ATMAction, ATMDecision
+from repro.runtime.executor import BaseExecutor, RunResult
+from repro.runtime.graph import TaskDependenceGraph
+from repro.runtime.mp_executor import _TaskTypeSpec, make_engine_spec
+from repro.runtime.net_transport import (
+    SocketEndpoint,
+    TRANSPORT_ERROR,
+    parse_endpoints,
+)
+from repro.runtime.net_wire import (
+    ChunkEncoder,
+    NetChunk,
+    NetTaskDescriptor,
+    PROTOCOL_VERSION,
+    encode_frame,
+)
+from repro.runtime.task import Task, TaskState
+
+__all__ = ["NetworkExecutor"]
+
+
+class _ChunkState:
+    """Parent-side record of one dispatched, not-yet-completed chunk."""
+
+    __slots__ = ("chunk_id", "tasks", "endpoint", "sent_at")
+
+    def __init__(self, chunk_id: int, tasks: list[Task], endpoint: SocketEndpoint) -> None:
+        self.chunk_id = chunk_id
+        self.tasks = tasks
+        self.endpoint = endpoint
+        self.sent_at = time.perf_counter()
+
+
+class _EndpointState:
+    """Liveness bookkeeping the executor keeps per endpoint."""
+
+    __slots__ = ("outstanding", "last_heard", "last_ping", "work_since_sync")
+
+    def __init__(self) -> None:
+        self.outstanding: dict[int, _ChunkState] = {}
+        self.last_heard = time.perf_counter()
+        self.last_ping = 0.0
+        #: True once a chunk was dispatched after the last merged delta:
+        #: losing this endpoint then means losing ATM state (reuse
+        #: statistics), which drain() reports as ``lost_deltas``.
+        self.work_since_sync = False
+
+
+def _close_endpoints(endpoints: list) -> None:
+    """Idempotent teardown shared by close() and the GC finalizer."""
+    for endpoint in endpoints:
+        try:
+            endpoint.send(("shutdown",))
+        except Exception:
+            pass
+        try:
+            endpoint.close()
+        except Exception:  # pragma: no cover - defensive
+            pass
+
+
+class NetworkExecutor(BaseExecutor):
+    """Executor backed by workers behind a message transport."""
+
+    #: Safety deadline for a single drain (seconds); instances may override
+    #: ``self.drain_timeout`` (the fault tests bound every scenario with it).
+    DRAIN_TIMEOUT = 300.0
+    #: Poll interval for inbox messages (also the liveness-check cadence).
+    RESULT_POLL = 0.02
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        engine=None,
+        endpoints: Optional[Sequence[SocketEndpoint]] = None,
+    ) -> None:
+        super().__init__(config=config, engine=engine)
+        if self.config.enable_tracing:
+            raise RuntimeStateError(
+                "NetworkExecutor does not support tracing: task bodies run on "
+                "remote workers where CoreState spans cannot be recorded; "
+                "use the threaded or simulated backend for Figure 7/8 traces"
+            )
+        self.chunk_size = self.config.mp_chunk_size
+        self.timeout = self.config.net_timeout_s
+        self.max_retries = self.config.net_max_retries
+        self.drain_timeout = self.DRAIN_TIMEOUT
+        if endpoints is None:
+            workers = self.config.mp_workers or self.config.num_threads
+            endpoints = parse_endpoints(self.config.net_endpoints, workers)
+        self._endpoints: list[SocketEndpoint] = list(endpoints)
+        self._inbox: queue_module.Queue = queue_module.Queue()
+        self._ep_state: dict[SocketEndpoint, _EndpointState] = {}
+        self._chunk_counter = 0
+        #: Round-robin cursor over live endpoints; persists across dispatch
+        #: calls so wavefront apps (one ready chunk at a time) still spread
+        #: over the whole pool instead of hammering endpoint 0.
+        self._rr_cursor = 0
+        self._retries: dict[int, int] = {}
+        self._inflight: dict[int, Task] = {}
+        self._failures: list[str] = []
+        self._started = False
+        self._closed = False
+        self._stats = {
+            "endpoints": len(self._endpoints),
+            "dispatched": 0,
+            "chunks": 0,
+            "resubmitted_tasks": 0,
+            "payload_bytes": 0,
+            "failed_endpoints": self._failures,
+            "lost_deltas": 0,
+        }
+        self._finalizer: Optional[weakref.finalize] = weakref.finalize(
+            self, _close_endpoints, self._endpoints
+        )
+
+    # -- pool management ---------------------------------------------------------
+    def _live_endpoints(self) -> list[SocketEndpoint]:
+        return [ep for ep in self._endpoints if not ep.failed]
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeStateError("NetworkExecutor already closed")
+        if self._started:
+            return
+        self._started = True
+        # The engine spec is computed at connection time, not construction:
+        # Session assigns its assembled engine to a pre-built engine-less
+        # executor *after* __init__, and a spec snapshotted there would
+        # silently run the workers without ATM.
+        engine_spec = make_engine_spec(self.engine)
+        hello = ("hello", {"protocol": PROTOCOL_VERSION, "engine": engine_spec})
+        for endpoint in self._endpoints:
+            try:
+                endpoint.start(self._inbox)
+                endpoint.send(hello)
+            except NetworkTransportError as exc:
+                self._record_failure(endpoint, str(exc))
+                continue
+            self._ep_state[endpoint] = _EndpointState()
+        if not self._live_endpoints():
+            raise NetworkDrainError(
+                "no network endpoint could be reached: "
+                + "; ".join(self._failures)
+            )
+
+    def _record_failure(self, endpoint: SocketEndpoint, reason: str) -> None:
+        endpoint.failed = True
+        # A worker that hits a decode error (typically a task function that
+        # does not resolve on its import path) reports it best-effort before
+        # dying; the parent usually observes the broken pipe first, so fold
+        # the report into the reason — it names the actual cause.
+        report = endpoint.last_worker_error
+        if report is None:
+            time.sleep(0.05)  # give the receiver thread one beat to read it
+            report = endpoint.last_worker_error
+        if report is not None:
+            reason = f"{reason} (worker reported: {report})"
+        self._failures.append(f"{endpoint.name}: {reason}")
+        # Never join threads here: this runs on the drain thread and a
+        # wedged worker would stall failover for the whole join timeout.
+        endpoint.close(wait=False)
+
+    def close(self) -> None:
+        """Shut every endpoint down (idempotent; also runs via GC finalizer)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+
+    def __enter__(self) -> "NetworkExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- task encoding -----------------------------------------------------------
+    def _describe_task(self, task: Task, encoder: ChunkEncoder) -> NetTaskDescriptor:
+        accesses = tuple(
+            (
+                encoder.ref(access.region.array, access.region),
+                access.mode.value,
+                access.region.name,
+            )
+            for access in task.accesses
+        )
+        return NetTaskDescriptor(
+            task_id=task.task_id,
+            creation_index=task.creation_index,
+            type_spec=_TaskTypeSpec.of(task.task_type),
+            function=task.function,
+            accesses=accesses,
+            args=encoder.encode_payload(task.args),
+            kwargs=encoder.encode_payload(task.kwargs),
+        )
+
+    def _encode_chunk(self, tasks: list[Task]) -> tuple[NetChunk, bytes]:
+        """Build and frame one chunk; serialization errors raise here, named.
+
+        Framing happens synchronously (not in the receiver/sender machinery)
+        for the same reason the process backend pickles synchronously: an
+        unpicklable task function must raise with the offending tasks named,
+        not wedge the drain.
+        """
+        encoder = ChunkEncoder()
+        descriptors = tuple(self._describe_task(task, encoder) for task in tasks)
+        self._chunk_counter += 1
+        chunk = NetChunk(
+            chunk_id=self._chunk_counter,
+            buffers=encoder.buffers(),
+            tasks=descriptors,
+        )
+        try:
+            raw = encode_frame(("chunk", chunk))
+        except Exception as exc:
+            labels = ", ".join(f"{t.task_type.name}#{t.task_id}" for t in tasks)
+            raise RuntimeStateError(
+                f"cannot serialize task(s) [{labels}] for the network "
+                f"backend: {exc}; task functions and plain arguments must "
+                "be picklable (module-level functions, no lambdas/closures)"
+            ) from exc
+        return chunk, raw
+
+    # -- dispatch ----------------------------------------------------------------
+    def _send_chunk(self, tasks: list[Task], endpoint: SocketEndpoint) -> bool:
+        """Dispatch one chunk; returns False when the endpoint failed."""
+        chunk, raw = self._encode_chunk(tasks)
+        try:
+            endpoint.send_bytes(raw)
+        except NetworkTransportError as exc:
+            self._fail_endpoint(endpoint, str(exc))
+            return False
+        state = self._ep_state[endpoint]
+        chunk_state = _ChunkState(chunk.chunk_id, tasks, endpoint)
+        state.outstanding[chunk.chunk_id] = chunk_state
+        # Dispatch restarts the endpoint's silence clock: an endpoint that
+        # was legitimately idle (nothing outstanding) must get a full
+        # timeout window to answer freshly (re)submitted work.
+        state.last_heard = max(state.last_heard, chunk_state.sent_at)
+        state.work_since_sync = True
+        self._stats["chunks"] += 1
+        self._stats["payload_bytes"] += len(raw)
+        return True
+
+    def _distribute(self, tasks: list[Task]) -> None:
+        """Chunk ``tasks`` round-robin over the live endpoints."""
+        pending = list(tasks)
+        while pending:
+            live = self._live_endpoints()
+            if not live:
+                raise NetworkDrainError(
+                    "all network endpoints failed: " + "; ".join(self._failures)
+                )
+            chunk_tasks = pending[: self.chunk_size]
+            endpoint = live[self._rr_cursor % len(live)]
+            self._rr_cursor += 1
+            if self._send_chunk(chunk_tasks, endpoint):
+                pending = pending[self.chunk_size:]
+            # On failure the loop retries the same tasks on the next live
+            # endpoint (the failed one is excluded by _live_endpoints).
+
+    def _dispatch_ready(self) -> None:
+        ready: list[Task] = []
+        while True:
+            task = self.scheduler.next_task(0)
+            if task is None:
+                break
+            ready.append(task)
+            self._inflight[task.task_id] = task
+        if ready:
+            self._stats["dispatched"] += len(ready)
+            self._distribute(ready)
+
+    # -- failure handling --------------------------------------------------------
+    def _fail_endpoint(self, endpoint: SocketEndpoint, reason: str) -> None:
+        """Mark an endpoint dead and resubmit its unfinished work elsewhere."""
+        if endpoint.failed:
+            return
+        self._record_failure(endpoint, reason)
+        state = self._ep_state.pop(endpoint, None)
+        if state is None:
+            return
+        if self.engine is not None and state.work_since_sync:
+            # Its engine replica held un-merged ATM state (reuse statistics,
+            # never result bytes — unacknowledged tasks re-run elsewhere).
+            self._stats["lost_deltas"] += 1
+        orphans: list[Task] = []
+        for chunk_state in state.outstanding.values():
+            for task in chunk_state.tasks:
+                if task.task_id in self._inflight:
+                    orphans.append(task)
+        if not orphans:
+            return
+        for task in orphans:
+            count = self._retries.get(task.task_id, 0) + 1
+            self._retries[task.task_id] = count
+            if count > self.max_retries:
+                raise NetworkDrainError(
+                    f"task {task.label} exceeded net_max_retries="
+                    f"{self.max_retries} after endpoint failures: "
+                    + "; ".join(self._failures)
+                )
+        self._stats["resubmitted_tasks"] += len(orphans)
+        self._distribute(orphans)
+
+    # -- drain -------------------------------------------------------------------
+    def drain(self, graph: TaskDependenceGraph) -> RunResult:
+        if self._closed:
+            raise RuntimeStateError("NetworkExecutor already closed")
+        if graph.all_finished:
+            self._finalize_result()
+            return self._result
+        self._ensure_started()
+        t0 = time.perf_counter()
+        deadline = t0 + self.drain_timeout
+        while not graph.all_finished:
+            self._dispatch_ready()
+            if not self._inflight:
+                if graph.all_finished:
+                    break
+                raise RuntimeStateError(
+                    "network executor starved: no ready tasks, none in flight, "
+                    "but the graph is not finished (undeclared dependence?)"
+                )
+            self._pump(graph, deadline)
+        elapsed = time.perf_counter() - t0
+        if self.engine is not None:
+            self._sync_engines(deadline)
+        self._result.elapsed += elapsed
+        # _stats["failed_endpoints"] aliases self._failures, so the extra
+        # dict stays live across drains without re-assignment.
+        self._result.extra.setdefault("network_backend", self._stats)
+        self._finalize_result()
+        return self._result
+
+    def _pump(self, graph: TaskDependenceGraph, deadline: float) -> None:
+        """Handle one inbox message, or run the liveness checks on idle."""
+        try:
+            endpoint, message = self._inbox.get(timeout=self.RESULT_POLL)
+        except queue_module.Empty:
+            self._check_liveness(deadline)
+            return
+        if endpoint.failed:
+            return  # stale traffic from an endpoint already declared dead
+        kind = message[0]
+        if kind == TRANSPORT_ERROR:
+            self._fail_endpoint(endpoint, message[1])
+            return
+        state = self._ep_state.get(endpoint)
+        if state is None:  # pragma: no cover - defensive
+            return
+        state.last_heard = time.perf_counter()
+        if kind == "ack":
+            # Acks feed the silence clock (already refreshed above): the
+            # worker acks each chunk *before* executing it, so receipt
+            # liveness is proven independently of task runtime.
+            pass
+        elif kind == "result":
+            _, chunk_id, results = message
+            state.outstanding.pop(chunk_id, None)
+            for task_id, action_value, executed, writes in results:
+                self._complete_task(graph, task_id, action_value, executed, writes)
+        elif kind == "error":
+            _, _chunk_id, task_id, trace = message
+            raise RuntimeStateError(
+                f"network worker {endpoint.name} failed on task "
+                f"{task_id}:\n{trace}"
+            )
+        elif kind in ("hello_ack", "pong", "sync_result"):
+            pass  # liveness already recorded; stray sync_result is stale
+        else:
+            self._fail_endpoint(endpoint, f"unexpected message kind {kind!r}")
+
+    def _complete_task(
+        self, graph, task_id: int, action_value: str, executed: bool, writes
+    ) -> None:
+        task = self._inflight.pop(task_id, None)
+        if task is None:
+            return  # duplicate completion of a resubmitted task
+        # Written bytes land in the parent arrays *before* complete_task
+        # releases successors: anything scheduled next reads the new values
+        # (and re-serializes them at its own dispatch).
+        for index, raw in writes:
+            region = task.accesses[index].region
+            received = np.frombuffer(raw, dtype=region.array.dtype)
+            np.copyto(
+                region.array, received.reshape(region.array.shape), casting="no"
+            )
+        decision = ATMDecision(action=ATMAction(action_value))
+        self._account(decision)
+        final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
+        graph.complete_task(task, final_state)
+
+    def _check_liveness(self, deadline: float) -> None:
+        now = time.perf_counter()
+        if now > deadline:
+            raise NetworkDrainError(
+                f"network drain timed out after {self.drain_timeout}s with "
+                f"{len(self._inflight)} task(s) outstanding"
+            )
+        for endpoint in list(self._ep_state):
+            state = self._ep_state.get(endpoint)
+            if state is None or not state.outstanding:
+                continue
+            silent_for = now - state.last_heard
+            if silent_for > self.timeout:
+                self._fail_endpoint(
+                    endpoint,
+                    f"heartbeat timeout ({silent_for:.2f}s > "
+                    f"net_timeout_s={self.timeout}s with work outstanding)",
+                )
+            elif silent_for > self.timeout / 2 and now - state.last_ping > self.timeout / 2:
+                state.last_ping = now
+                try:
+                    endpoint.send(("ping",))
+                except NetworkTransportError as exc:
+                    self._fail_endpoint(endpoint, f"ping failed: {exc}")
+
+    # -- ATM barrier -------------------------------------------------------------
+    def _sync_engines(self, deadline: float) -> None:
+        """Collect one engine delta per live endpoint and merge them.
+
+        Best-effort by design: an endpoint that dies here loses its delta
+        (reuse statistics), never result bytes — every task already
+        completed through an accepted result message.
+        """
+        pending: set[SocketEndpoint] = set()
+        for endpoint in self._live_endpoints():
+            try:
+                endpoint.send(("sync",))
+                pending.add(endpoint)
+            except NetworkTransportError as exc:
+                self._fail_endpoint(endpoint, f"sync send failed: {exc}")
+        sync_deadline = min(deadline, time.perf_counter() + self.timeout)
+        while pending:
+            if time.perf_counter() > sync_deadline:
+                for endpoint in pending:
+                    self._fail_endpoint(endpoint, "sync timed out")
+                return
+            try:
+                endpoint, message = self._inbox.get(timeout=self.RESULT_POLL)
+            except queue_module.Empty:
+                continue
+            kind = message[0]
+            if kind == TRANSPORT_ERROR:
+                if endpoint in pending:
+                    pending.discard(endpoint)
+                    self._fail_endpoint(endpoint, f"died during sync: {message[1]}")
+                continue
+            if kind == "sync_result" and endpoint in pending:
+                pending.discard(endpoint)
+                if message[1] is not None:
+                    self.engine.merge(message[1])
+                state = self._ep_state.get(endpoint)
+                if state is not None:
+                    state.work_since_sync = False
+            # acks/pongs and stale results are ignored here: the graph is
+            # finished, every task already completed.

@@ -1,0 +1,436 @@
+"""Endpoints and the worker service loop of the network backend.
+
+Transport model (DESIGN.md §4.5): the :class:`NetworkExecutor` parent holds
+one point-to-point connection per worker *endpoint*.  Each endpoint owns a
+socket plus a receiver thread that decodes frames
+(:mod:`repro.runtime.net_wire`) and posts ``(endpoint, message)`` pairs onto
+the executor's single inbox queue; sends happen inline under a per-endpoint
+lock.  Two concrete endpoints exist:
+
+* :class:`LoopbackEndpoint` — a ``socket.socketpair`` whose far end is
+  served by an in-process worker thread running the *same*
+  :func:`serve_connection` loop the TCP daemon runs.  The full stack —
+  framing, acks, heartbeats, resubmission — is exercised on one machine
+  with zero extra infrastructure; this is the default
+  (``RuntimeConfig.net_endpoints = "loopback"``) and what the parity and
+  fault suites drive.
+* :class:`TcpEndpoint` — connects to a ``scripts/net_worker.py`` daemon at
+  ``host:port``.
+
+Endpoint failure is a *state*, not an exception: when the socket breaks, a
+frame fails to decode, or the executor's heartbeat deadline expires, the
+endpoint is marked ``failed``, excluded from further dispatch, and its
+unfinished chunks are resubmitted elsewhere.  The fault-injection tests
+subclass :class:`LoopbackEndpoint` and override :meth:`SocketEndpoint.deliver`
+/ :meth:`LoopbackEndpoint.worker_target` to drop acks, delay past the
+heartbeat, kill the worker mid-chunk or corrupt the stream.
+
+The worker side — :class:`NetWorkerState` + :func:`serve_connection` — is
+deliberately transport-agnostic: it reads frames from any socket, so the
+loopback thread and the standalone TCP daemon share every line of protocol
+logic.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import traceback
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.common.exceptions import (
+    NetworkTransportError,
+    WireProtocolError,
+)
+from repro.runtime.atm_protocol import EXECUTE_DECISION
+from repro.runtime.data import AccessMode, DataAccess
+from repro.runtime.mp_executor import _build_worker_engine
+from repro.runtime.net_wire import (
+    ChunkArena,
+    NetChunk,
+    PROTOCOL_VERSION,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.runtime.task import Task, TaskState, TaskType
+
+__all__ = [
+    "TRANSPORT_ERROR",
+    "SocketEndpoint",
+    "LoopbackEndpoint",
+    "TcpEndpoint",
+    "NetWorkerState",
+    "serve_connection",
+    "parse_endpoints",
+]
+
+#: Message kind posted to the inbox when an endpoint's receive path dies.
+TRANSPORT_ERROR = "__transport_error__"
+
+
+# -- parent-side endpoints ------------------------------------------------------------
+class SocketEndpoint:
+    """One connection from the executor to a worker, with a receiver thread."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Set (only) by the executor when it declares this endpoint dead.
+        self.failed = False
+        #: Last worker-side error report seen by the receiver thread; the
+        #: executor folds it into the failure reason when the connection
+        #: breaks before the report can travel the normal message path.
+        self.last_worker_error: Optional[str] = None
+        self._sock: Optional[socket.socket] = None
+        self._inbox: Optional[queue.Queue] = None
+        self._send_lock = threading.Lock()
+        self._receiver: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- connection --------------------------------------------------------------
+    def connect(self) -> socket.socket:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def start(self, inbox: queue.Queue) -> None:
+        """Connect and spawn the receiver thread posting into ``inbox``."""
+        if self._sock is not None:
+            return
+        self._inbox = inbox
+        try:
+            self._sock = self.connect()
+        except OSError as exc:
+            raise NetworkTransportError(
+                f"endpoint {self.name}: cannot connect: {exc}"
+            ) from exc
+        self._receiver = threading.Thread(
+            target=self._receive_loop, daemon=True, name=f"net-recv-{self.name}"
+        )
+        self._receiver.start()
+
+    def _receive_loop(self) -> None:
+        sock = self._sock
+        try:
+            while True:
+                message = read_frame(sock)
+                if message[0] == "error":
+                    self.last_worker_error = message[3]
+                self.deliver(message)
+        except (WireProtocolError, OSError, ValueError) as exc:
+            # ValueError: recv on a socket closed by our own close().
+            if not self._closed:
+                self._post((TRANSPORT_ERROR, f"{type(exc).__name__}: {exc}"))
+
+    def _post(self, message: Any) -> None:
+        inbox = self._inbox
+        if inbox is not None:
+            inbox.put((self, message))
+
+    def deliver(self, message: Any) -> None:
+        """Inbound hook: receiver thread -> executor inbox.
+
+        Fault-injection wrappers override this to drop, delay or reorder
+        worker->parent messages.
+        """
+        self._post(message)
+
+    # -- outbound ---------------------------------------------------------------
+    def send(self, message: Any) -> None:
+        """Frame and send one message; raises on a broken connection."""
+        self.send_bytes(encode_frame(message))
+
+    def send_bytes(self, raw: bytes) -> None:
+        """Send an already-framed message.
+
+        Split from :meth:`send` so the executor can frame chunks
+        synchronously (naming unpicklable tasks in the error) and so the
+        transport-level failure surface is exactly
+        :class:`NetworkTransportError`.
+        """
+        sock = self._sock
+        if sock is None or self._closed:
+            raise NetworkTransportError(f"endpoint {self.name} is not connected")
+        try:
+            with self._send_lock:
+                sock.sendall(raw)
+        except OSError as exc:
+            raise NetworkTransportError(
+                f"endpoint {self.name}: send failed: {exc}"
+            ) from exc
+
+    # -- teardown ---------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Tear the connection down.
+
+        ``wait=False`` (the executor's *failure* path) skips the thread
+        joins: the receiver and any loopback worker are daemon threads that
+        die with the closed socket, and joining a wedged worker would stall
+        failover on the drain thread for the whole join timeout.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._sock is not None:
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if (
+            wait
+            and self._receiver is not None
+            and self._receiver is not threading.current_thread()
+        ):
+            self._receiver.join(timeout=2.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "failed" if self.failed else ("closed" if self._closed else "live")
+        return f"{type(self).__name__}({self.name!r}, {state})"
+
+
+class LoopbackEndpoint(SocketEndpoint):
+    """In-process worker: a socketpair served by a thread running the real
+    protocol loop.  Zero infrastructure, real framing bytes on a real socket.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self._worker_thread: Optional[threading.Thread] = None
+
+    def connect(self) -> socket.socket:
+        parent_sock, worker_sock = socket.socketpair()
+        self._worker_thread = threading.Thread(
+            target=self.worker_target,
+            args=(worker_sock,),
+            daemon=True,
+            name=f"net-worker-{self.name}",
+        )
+        self._worker_thread.start()
+        return parent_sock
+
+    def worker_target(self, sock: socket.socket) -> None:
+        """The served side of the pair; fault tests override this."""
+        serve_connection(sock)
+
+    def close(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        super().close(wait=wait)
+        if (
+            wait
+            and self._worker_thread is not None
+            and self._worker_thread is not threading.current_thread()
+        ):
+            self._worker_thread.join(timeout=2.0)
+
+
+class TcpEndpoint(SocketEndpoint):
+    """Connection to a standalone ``scripts/net_worker.py`` daemon."""
+
+    CONNECT_TIMEOUT = 10.0
+
+    def __init__(self, host: str, port: int) -> None:
+        super().__init__(f"{host}:{port}")
+        self.host = host
+        self.port = port
+
+    def connect(self) -> socket.socket:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.CONNECT_TIMEOUT
+        )
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+
+def parse_endpoints(spec: str, default_workers: int) -> list[SocketEndpoint]:
+    """Build endpoints from ``RuntimeConfig.net_endpoints``.
+
+    ``"loopback"`` / ``"loopback:<n>"`` spawn in-process workers;
+    anything else is a comma-separated ``host:port`` list.
+    """
+    text = spec.strip()
+    if text == "loopback" or text.startswith("loopback:"):
+        count = default_workers
+        if ":" in text:
+            try:
+                count = int(text.split(":", 1)[1])
+            except ValueError as exc:
+                raise NetworkTransportError(
+                    f"net_endpoints {spec!r}: bad loopback worker count: {exc}"
+                ) from exc
+        if count < 1:
+            raise NetworkTransportError(
+                f"net_endpoints {spec!r}: loopback worker count must be >= 1"
+            )
+        return [LoopbackEndpoint(f"loopback/{i}") for i in range(count)]
+    endpoints: list[SocketEndpoint] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        host, sep, port = part.rpartition(":")
+        if not sep or not host:
+            raise NetworkTransportError(
+                f"net_endpoints entry {part!r} is not host:port"
+            )
+        try:
+            endpoints.append(TcpEndpoint(host, int(port)))
+        except ValueError as exc:
+            raise NetworkTransportError(
+                f"net_endpoints entry {part!r}: bad port: {exc}"
+            ) from exc
+    if not endpoints:
+        raise NetworkTransportError(f"net_endpoints {spec!r} names no endpoints")
+    return endpoints
+
+
+# -- worker side ----------------------------------------------------------------------
+class NetWorkerState:
+    """Per-connection worker state: the ATM engine replica + type cache."""
+
+    def __init__(self, worker_id: int = 0) -> None:
+        self.worker_id = worker_id
+        self.engine = None
+        self.task_types: dict[str, TaskType] = {}
+
+    # -- handshake ---------------------------------------------------------------
+    def hello(self, info: dict) -> dict:
+        protocol = info.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            raise WireProtocolError(
+                f"protocol version mismatch: client speaks {protocol}, "
+                f"worker speaks {PROTOCOL_VERSION}"
+            )
+        self.engine = _build_worker_engine(info.get("engine"))
+        return {"protocol": PROTOCOL_VERSION, "worker_id": self.worker_id}
+
+    # -- execution ---------------------------------------------------------------
+    def run_chunk(self, chunk: NetChunk) -> tuple[list[tuple], Optional[tuple]]:
+        """Run one chunk; returns ``(results, error)``.
+
+        ``error`` is ``(task_id, traceback_str)`` when a task body raised —
+        the rest of the chunk is dropped, mirroring the process backend.
+        """
+        arena = ChunkArena(chunk.buffers)
+        results: list[tuple] = []
+        for desc in chunk.tasks:
+            try:
+                results.append(self._run_task(desc, arena))
+            except BaseException:
+                return results, (desc.task_id, traceback.format_exc())
+        return results, None
+
+    def _run_task(self, desc, arena: ChunkArena) -> tuple:
+        task_type = self.task_types.get(desc.type_spec.name)
+        if task_type is None:
+            task_type = desc.type_spec.build()
+            self.task_types[desc.type_spec.name] = task_type
+        accesses = [
+            DataAccess(arena.region(ref, name), AccessMode(mode_value))
+            for ref, mode_value, name in desc.accesses
+        ]
+        task = Task(
+            task_type=task_type,
+            function=desc.function,
+            accesses=accesses,
+            args=arena.decode_payload(desc.args),
+            kwargs=arena.decode_payload(desc.kwargs),
+            task_id=desc.task_id,
+        )
+        task.creation_index = desc.creation_index
+        task.label = f"{task_type.name}#{desc.task_id}"
+
+        engine = self.engine
+        # Same eligibility gate as BaseExecutor._lookup, so per-worker stats
+        # merge into the exact totals a single-process engine would see.
+        if engine is not None and task_type.atm_eligible:
+            decision = engine.task_ready(task, self.worker_id)
+        else:
+            decision = EXECUTE_DECISION
+        executed = False
+        if not decision.skips_execution:
+            task.state = TaskState.RUNNING
+            task.run()
+            executed = True
+            for access in task.accesses:
+                if access.writes:
+                    access.region.bump_version()
+        if decision.atm_handled and engine is not None:
+            engine.task_finished(task, decision, executed, self.worker_id)
+        # Ship back the raw bytes of every written region: the parent has no
+        # shared memory to read them from (the SKIP path's copy_from wrote
+        # the worker-local arrays, so it is covered identically).
+        writes = [
+            (index, np.ascontiguousarray(access.region.array).tobytes())
+            for index, access in enumerate(task.accesses)
+            if access.writes
+        ]
+        return (desc.task_id, decision.action.value, executed, writes)
+
+    # -- barrier -----------------------------------------------------------------
+    def sync(self):
+        """ATM engine delta since the previous barrier (``None`` engineless)."""
+        if self.engine is None:
+            return None
+        return self.engine.snapshot(reset=True)
+
+
+def serve_connection(sock: socket.socket, worker_id: int = 0) -> None:
+    """Serve one executor connection until shutdown or a dead transport.
+
+    The single worker loop shared by loopback threads and the TCP daemon.
+    Task exceptions are reported as ``("error", ...)`` frames — the worker
+    survives and the parent decides (it raises; a *transport* fault, by
+    contrast, kills the connection and triggers resubmission).
+    """
+    state = NetWorkerState(worker_id=worker_id)
+    try:
+        while True:
+            message = read_frame(sock)
+            kind = message[0]
+            if kind == "hello":
+                write_frame(sock, ("hello_ack", state.hello(message[1])))
+            elif kind == "chunk":
+                chunk: NetChunk = message[1]
+                # Per-chunk ack *before* execution: proves liveness at
+                # receipt so the parent's ack deadline is independent of
+                # task runtime.
+                write_frame(sock, ("ack", chunk.chunk_id))
+                results, error = state.run_chunk(chunk)
+                if error is not None:
+                    write_frame(sock, ("error", chunk.chunk_id, *error))
+                else:
+                    write_frame(sock, ("result", chunk.chunk_id, results))
+            elif kind == "sync":
+                write_frame(sock, ("sync_result", state.sync()))
+            elif kind == "ping":
+                write_frame(sock, ("pong",))
+            elif kind == "shutdown":
+                break
+            else:
+                raise WireProtocolError(f"unknown message kind {kind!r}")
+    except WireProtocolError as exc:
+        # A frame we could not decode — most commonly a task function that
+        # does not resolve on this worker's import path (pickled by
+        # reference from the client's ``__main__``).  Best-effort report
+        # before dying: it turns the client's opaque connection-reset into
+        # the actual cause.
+        try:
+            write_frame(sock, ("error", None, None, f"worker {worker_id}: {exc}"))
+        except OSError:
+            pass
+    except (OSError, ValueError, EOFError):
+        # Transport died: nothing to report to — the client's receiver
+        # observes the same breakage independently.
+        pass
+    finally:
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass

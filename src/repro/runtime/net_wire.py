@@ -1,0 +1,350 @@
+"""Wire format of the network execution backend (DESIGN.md §4.5).
+
+The network backend speaks the same descriptor + ATM delta-merge protocol as
+the process backend, but no shared memory spans hosts, so every array payload
+travels **as bytes**.  This module defines the two halves of that story:
+
+* **Framing** — every message is one length-prefixed frame::
+
+      | magic "ATMW" (4) | payload length (4, big-endian) | crc32 (4) | payload |
+
+  The payload is a pickled message tuple (protocol ``HIGHEST_PROTOCOL``).
+  Magic, length bound and CRC mean a corrupted or truncated stream is
+  detected deterministically and raised as
+  :class:`~repro.common.exceptions.WireProtocolError` — the receiving side
+  treats the peer as failed instead of interpreting garbage.
+
+* **Array/task encoding** — a :class:`ChunkEncoder` (sender side) walks the
+  arrays referenced by a chunk of tasks, computes per owning base buffer the
+  union byte span the chunk touches, and ships one :class:`NetBuffer` of raw
+  bytes per base plus :class:`NetArrayRef` handles (offset/shape/strides/
+  dtype) for every view.  A :class:`ChunkArena` (receiver side) materialises
+  each buffer as one writable ``bytearray`` and rebuilds byte-exact NumPy
+  views over it, preserving aliasing between views of the same base — the
+  no-shared-memory analogue of :class:`~repro.runtime.shm.WorkerArena`.
+
+Message vocabulary (client = the :class:`NetworkExecutor` parent, worker =
+a loopback thread or a ``scripts/net_worker.py`` daemon)::
+
+    client -> worker : ("hello", info)           handshake; carries the engine spec
+                       ("chunk", NetChunk)       one batch of task descriptors
+                       ("sync",)                 request an ATM engine delta
+                       ("ping",)                 heartbeat probe
+                       ("shutdown",)             orderly connection teardown
+    worker -> client : ("hello_ack", info)
+                       ("ack", chunk_id)         chunk received (pre-execution)
+                       ("result", chunk_id, results)
+                       ("sync_result", delta)
+                       ("pong",)
+                       ("error", chunk_id, task_id, traceback_str)
+
+Each entry of ``results`` is ``(task_id, action_value, executed, writes)``
+where ``writes`` is a list of ``(access_index, bytes)`` pairs holding the
+raw little bytes of every written region — the copy-back path that replaces
+the process backend's shared-segment ``copy_out``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.common.exceptions import RuntimeStateError, WireProtocolError
+from repro.runtime.data import DataRegion, _base_buffer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "NetArrayRef",
+    "NetBuffer",
+    "NetTaskDescriptor",
+    "NetChunk",
+    "ChunkEncoder",
+    "ChunkArena",
+    "encode_frame",
+    "decode_frame",
+    "read_frame",
+    "write_frame",
+]
+
+#: Bumped on any incompatible message/frame change; checked at hello time.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"ATMW"
+_HEADER = struct.Struct("!4sII")
+
+#: Upper bound on one frame's payload: a garbage length prefix must never
+#: turn into a multi-gigabyte allocation or an endless blocking read.
+MAX_FRAME_BYTES = 1 << 30
+
+
+# -- framing --------------------------------------------------------------------------
+def encode_frame(message: Any) -> bytes:
+    """Serialize one message into a framed byte string."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:  # pragma: no cover - defensive
+        raise WireProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame bound"
+        )
+    return _HEADER.pack(MAGIC, len(payload), zlib.crc32(payload)) + payload
+
+def _check_header(header: bytes) -> tuple[int, int]:
+    magic, length, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}): peer is not "
+            f"speaking the ATM wire protocol or the stream is corrupted"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise WireProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound"
+        )
+    return length, crc
+
+
+def _check_payload(payload: bytes, crc: int) -> Any:
+    if zlib.crc32(payload) != crc:
+        raise WireProtocolError(
+            "frame checksum mismatch: payload corrupted in transit"
+        )
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # CRC passed but the pickle is malformed
+        raise WireProtocolError(f"cannot unpickle frame payload: {exc}") from exc
+
+
+def decode_frame(data: bytes) -> tuple[Any, int]:
+    """Decode one frame from ``data``; returns ``(message, bytes_consumed)``.
+
+    Raises :class:`WireProtocolError` on bad magic, an oversized length, a
+    truncated buffer or a checksum mismatch.
+    """
+    if len(data) < _HEADER.size:
+        raise WireProtocolError(
+            f"truncated frame: {len(data)} bytes < {_HEADER.size}-byte header"
+        )
+    length, crc = _check_header(data[: _HEADER.size])
+    end = _HEADER.size + length
+    if len(data) < end:
+        raise WireProtocolError(
+            f"truncated frame: header promises {length} payload bytes, "
+            f"{len(data) - _HEADER.size} present"
+        )
+    return _check_payload(data[_HEADER.size : end], crc), end
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise :class:`WireProtocolError` on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise WireProtocolError(
+                f"connection closed mid-frame ({n - remaining}/{n} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Any:
+    """Blocking read of one complete frame from a socket."""
+    length, crc = _check_header(_recv_exact(sock, _HEADER.size))
+    return _check_payload(_recv_exact(sock, length), crc)
+
+
+def write_frame(sock: socket.socket, message: Any) -> None:
+    sock.sendall(encode_frame(message))
+
+
+# -- array / task encoding ------------------------------------------------------------
+@dataclass(frozen=True)
+class NetArrayRef:
+    """Serializable handle to an array view inside a shipped buffer span.
+
+    ``offset``/``strides`` are byte-exact relative to the *owning base
+    buffer* (exactly like :class:`~repro.runtime.data.ArrayRef`); the
+    receiving :class:`ChunkArena` rebases them onto the transmitted span.
+    """
+
+    buffer_id: int
+    offset: int
+    shape: tuple[int, ...]
+    strides: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class NetBuffer:
+    """Raw bytes of the span one chunk touches within one base buffer."""
+
+    buffer_id: int
+    start: int
+    data: bytes
+
+
+@dataclass(frozen=True)
+class NetTaskDescriptor:
+    """Everything a remote worker needs to rebuild and run one task.
+
+    ``accesses`` entries are ``(NetArrayRef, mode_value, region_name)``;
+    ndarray leaves of ``args``/``kwargs`` are replaced by their
+    :class:`NetArrayRef`, so worker-side argument arrays alias the rebuilt
+    access regions exactly as they alias the parent arrays at home.
+    """
+
+    task_id: int
+    creation_index: int
+    type_spec: Any  # _TaskTypeSpec (repro.runtime.mp_executor)
+    function: Any
+    accesses: tuple[tuple[NetArrayRef, str, str], ...]
+    args: tuple
+    kwargs: dict
+
+
+@dataclass(frozen=True)
+class NetChunk:
+    """One dispatch unit: buffer spans + the task descriptors using them."""
+
+    chunk_id: int
+    buffers: tuple[NetBuffer, ...]
+    tasks: tuple[NetTaskDescriptor, ...]
+
+
+class ChunkEncoder:
+    """Sender-side builder of :class:`NetArrayRef`/:class:`NetBuffer` sets.
+
+    Tasks of one chunk are pairwise independent (they were ready
+    simultaneously), so one buffer copy per base is consistent for the whole
+    chunk.  Call :meth:`ref` / :meth:`encode_payload` for every array, then
+    :meth:`buffers` once to materialise the union spans.
+    """
+
+    def __init__(self) -> None:
+        # id(base) -> [base, min_start, max_end]; holding the base reference
+        # keeps the id stable for the encoder's lifetime.
+        self._spans: dict[int, list] = {}
+
+    def _touch(self, base: np.ndarray, start: int, end: int) -> int:
+        buffer_id = id(base)
+        span = self._spans.get(buffer_id)
+        if span is None:
+            self._spans[buffer_id] = [base, start, end]
+        else:
+            span[1] = min(span[1], start)
+            span[2] = max(span[2], end)
+        return buffer_id
+
+    def ref(self, array: np.ndarray, region: Optional[DataRegion] = None) -> NetArrayRef:
+        """Handle for ``array``; pass ``region`` to reuse its interval math."""
+        if region is None:
+            region = DataRegion(array)
+        base = _base_buffer(array)
+        start, end = region.byte_interval
+        buffer_id = self._touch(base, start, end)
+        base_addr = base.__array_interface__["data"][0]
+        my_addr = array.__array_interface__["data"][0]
+        return NetArrayRef(
+            buffer_id=buffer_id,
+            offset=int(my_addr - base_addr),
+            shape=tuple(array.shape),
+            strides=tuple(array.strides),
+            dtype=array.dtype.str,
+        )
+
+    def encode_payload(self, value: Any) -> Any:
+        """Swap every ndarray in a (nested) argument payload for its ref."""
+        if isinstance(value, np.ndarray):
+            return self.ref(value)
+        if isinstance(value, tuple):
+            return tuple(self.encode_payload(v) for v in value)
+        if isinstance(value, list):
+            return [self.encode_payload(v) for v in value]
+        if isinstance(value, dict):
+            return {k: self.encode_payload(v) for k, v in value.items()}
+        return value
+
+    def buffers(self) -> tuple[NetBuffer, ...]:
+        """Materialise the union span bytes of every touched base buffer."""
+        out = []
+        for buffer_id, (base, start, end) in self._spans.items():
+            if not base.flags.c_contiguous:
+                raise RuntimeStateError(
+                    "the network backend requires C-contiguous owning "
+                    f"buffers; got a non-contiguous owner of dtype "
+                    f"{base.dtype} shape {base.shape}"
+                )
+            flat = base.reshape(-1).view(np.uint8) if base.size else base
+            data = flat[start:end].tobytes() if base.size else b""
+            out.append(NetBuffer(buffer_id=buffer_id, start=start, data=data))
+        return tuple(out)
+
+
+class ChunkArena:
+    """Receiver-side materialisation of one chunk's buffers and views.
+
+    Every :class:`NetBuffer` becomes one writable ``bytearray``-backed
+    ``uint8`` ndarray; views built over it share that object as their
+    ``.base``, preserving region identity (aliasing *and* the keygen-cache
+    keying) within the chunk.
+    """
+
+    def __init__(self, buffers: tuple[NetBuffer, ...]) -> None:
+        self._bases: dict[int, tuple[np.ndarray, int]] = {}
+        for buf in buffers:
+            backing = np.frombuffer(bytearray(buf.data), dtype=np.uint8)
+            self._bases[buf.buffer_id] = (backing, buf.start)
+        self._views: dict[tuple, np.ndarray] = {}
+        self._regions: dict[tuple, DataRegion] = {}
+
+    def view(self, ref: NetArrayRef) -> np.ndarray:
+        key = (ref.buffer_id, ref.offset, ref.shape, ref.strides, ref.dtype)
+        cached = self._views.get(key)
+        if cached is not None:
+            return cached
+        entry = self._bases.get(ref.buffer_id)
+        if entry is None:
+            raise WireProtocolError(
+                f"chunk references buffer {ref.buffer_id:#x} that was not "
+                f"shipped with it"
+            )
+        backing, start = entry
+        try:
+            array = np.ndarray(
+                ref.shape,
+                dtype=np.dtype(ref.dtype),
+                buffer=backing,
+                offset=ref.offset - start,
+                strides=ref.strides,
+            )
+        except (ValueError, TypeError) as exc:
+            raise WireProtocolError(f"cannot rebuild array view: {exc}") from exc
+        self._views[key] = array
+        return array
+
+    def decode_payload(self, value: Any) -> Any:
+        if isinstance(value, NetArrayRef):
+            return self.view(value)
+        if isinstance(value, tuple):
+            return tuple(self.decode_payload(v) for v in value)
+        if isinstance(value, list):
+            return [self.decode_payload(v) for v in value]
+        if isinstance(value, dict):
+            return {k: self.decode_payload(v) for k, v in value.items()}
+        return value
+
+    def region(self, ref: NetArrayRef, name: str) -> DataRegion:
+        key = (ref.buffer_id, ref.offset, ref.shape, ref.strides, ref.dtype)
+        cached = self._regions.get(key)
+        if cached is None:
+            cached = DataRegion(self.view(ref), name=name)
+            self._regions[key] = cached
+        return cached

@@ -1,8 +1,8 @@
 """Cross-executor parity matrix.
 
 Every registered benchmark runs at ``WorkloadScale.TINY`` on the Serial,
-Threaded and Process executors — with ATM off and with exact Static ATM —
-and must produce:
+Threaded, Process and Network (loopback transport) executors — with ATM off
+and with exact Static ATM — and must produce:
 
 * **bit-identical output checksums** (the dependence graph plus exact
   ``p = 1.0`` keys make memoized copy-outs indistinguishable from
@@ -31,11 +31,14 @@ from repro.common.hashing import hash_bytes
 from repro.session import Session
 from repro.runtime.simulator import SimulatedExecutor
 
-EXECUTORS = ("serial", "threaded", "process")
+EXECUTORS = ("serial", "threaded", "process", "network")
 MODES = ("none", "static")
 #: Worker counts: serial is single by construction; threaded exercises the
-#: shared-engine locking; the process pool stays at 2 to bound spawn cost.
-WORKERS = {"serial": 1, "threaded": 4, "process": 2}
+#: shared-engine locking; the process pool stays at 2 to bound spawn cost;
+#: the network backend runs 2 loopback workers (the default
+#: ``net_endpoints="loopback"`` spawns ``cores`` in-process workers speaking
+#: the real wire protocol over socketpairs).
+WORKERS = {"serial": 1, "threaded": 4, "process": 2, "network": 2}
 
 
 def output_checksum(app) -> str:
@@ -78,14 +81,17 @@ def test_executor_parity(bench_name, mode):
             # broke must fail here.  With several workers, whether a repeated
             # task lands on the worker whose cold THT saw its twin is a pure
             # scheduling race (worker tables merge only at drain barriers),
-            # so the process backend's reuse is asserted on a single-worker
-            # pool — one THT sees every repeat deterministically — while the
-            # threaded backend shares one engine and keeps the direct check.
-            if executor == "process":
+            # so the worker-replicated backends' reuse is asserted on a
+            # single-worker pool — one THT sees every repeat
+            # deterministically — while the threaded backend shares one
+            # engine and keeps the direct check.  (The multi-worker case is
+            # pinned deterministically by test_two_worker_reuse_is_
+            # deterministic_within_one_chunk below.)
+            if executor in ("process", "network"):
                 app = make_benchmark(bench_name, scale="tiny")
-                solo = app.run_on("process", cores=1, engine=make_engine(mode, 1))
+                solo = app.run_on(executor, cores=1, engine=make_engine(mode, 1))
                 assert solo.tasks_memoized > 0, (
-                    f"{bench_name}: single-worker process/static found no "
+                    f"{bench_name}: single-worker {executor}/static found no "
                     f"reuse although serial memoized "
                     f"{reference.tasks_memoized} tasks"
                 )
@@ -97,6 +103,54 @@ def test_executor_parity(bench_name, mode):
         if mode == "none":
             assert result.tasks_memoized == 0
             assert result.tasks_executed == result.tasks_completed
+
+
+@pytest.mark.parametrize("executor", ["process", "network"])
+def test_two_worker_reuse_is_deterministic_within_one_chunk(executor):
+    """Pin of the PR 3 note: reuse at 2 workers is a scheduling race *only*
+    across chunks.
+
+    Whether a repeated task meets its twin's THT entry depends on which
+    worker's table saw the twin — racy when twins land in different chunks.
+    Within one chunk it is deterministic: chunked dispatch sends the whole
+    ready set to a single worker, whose serial execution guarantees every
+    later twin hits the first one's commit.  Submitting all twins into one
+    ready set with ``mp_chunk_size`` >= the set size therefore must memoize
+    exactly ``n - 1`` tasks on a 2-worker pool, every run — the
+    deterministic baseline the network fault matrix builds on.
+    """
+    from repro.session import ReproConfig, Session
+    from tests.conftest import SQUARE_TYPE, square_body
+    from repro.runtime.data import In, Out
+
+    n = 8
+    cfg = ReproConfig().with_overrides(
+        runtime={
+            "executor": executor,
+            "num_threads": 2,
+            "mp_workers": 2,
+            "mp_chunk_size": 64,  # >= n: the whole twin set rides one chunk
+        }
+    )
+    for _ in range(3):  # a race would need luck to pass three times
+        engine = make_engine("static", 2)
+        with Session(cfg, engine=engine) as session:
+            sources = [np.full(16, 3.0) for _ in range(n)]
+            sinks = [np.zeros(16) for _ in range(n)]
+            with session.batch():
+                for src, dst in zip(sources, sinks):
+                    session.submit(
+                        SQUARE_TYPE, square_body,
+                        accesses=[In(src), Out(dst)], args=(src, dst),
+                    )
+            result = session.wait_all()
+        assert result.tasks_completed == n
+        assert result.tasks_memoized == n - 1, (
+            f"{executor}: expected deterministic reuse of {n - 1} twins in "
+            f"one chunk, got {result.tasks_memoized}"
+        )
+        for dst in sinks:
+            assert np.array_equal(dst, np.full(16, 9.0))
 
 
 def simulator_schedule_checksum(benchmark: str, mode: str) -> tuple[str, str]:

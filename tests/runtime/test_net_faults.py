@@ -1,0 +1,396 @@
+"""Fault-injection matrix for the network execution backend.
+
+Each scenario wraps :class:`LoopbackEndpoint` with a misbehaving transport —
+dropping acks, delaying past the heartbeat, killing the worker mid-chunk,
+wedging silently, corrupting the stream — and asserts the drain either
+completes with bit-correct results (failed endpoints excluded, work
+resubmitted to the survivors) or fails with the *named*
+:class:`~repro.common.exceptions.NetworkDrainError`.  Nothing may hang:
+every scenario is bounded by an explicit ``drain_timeout`` far below the
+pytest session budget, and the wall-clock of the error paths is asserted.
+
+The 500-task churn soak (``pytest -m net_soak``) lives here too; it is
+excluded from tier-1 by the marker expression in ``pytest.ini``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.config import RuntimeConfig
+from repro.common.exceptions import NetworkDrainError, RuntimeStateError
+from repro.runtime.data import In, InOut, Out
+from repro.runtime.task import TaskType
+from repro.runtime.net_executor import NetworkExecutor
+from repro.runtime.net_transport import LoopbackEndpoint, serve_connection
+from repro.runtime.net_wire import read_frame, write_frame
+from repro.session import Session
+from tests.conftest import SQUARE_TYPE, square_body
+
+#: Hard bound on every scenario: a hang fails loudly, it never stalls CI.
+SCENARIO_TIMEOUT = 30.0
+#: Heartbeat budget used by the fault scenarios (small: faults fire fast).
+FAULT_NET_TIMEOUT = 0.4
+
+
+# -- misbehaving endpoints ------------------------------------------------------------
+class DropAckEndpoint(LoopbackEndpoint):
+    """Swallows every ack frame: receipt liveness is lost, results are not."""
+
+    def deliver(self, message):
+        if message[0] == "ack":
+            return
+        super().deliver(message)
+
+
+class DelayPastHeartbeatEndpoint(LoopbackEndpoint):
+    """Delays its first result until well past the heartbeat deadline."""
+
+    def __init__(self, name, delay_s: float):
+        super().__init__(name)
+        self.delay_s = delay_s
+        self._delayed = False
+
+    def deliver(self, message):
+        if message[0] == "result" and not self._delayed:
+            self._delayed = True
+            time.sleep(self.delay_s)
+        super().deliver(message)
+
+
+class KillMidChunkEndpoint(LoopbackEndpoint):
+    """Worker that acks its first chunk then dies (connection closed)."""
+
+    def worker_target(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                message = read_frame(sock)
+                if message[0] == "hello":
+                    write_frame(sock, ("hello_ack", {"worker_id": -1}))
+                elif message[0] == "chunk":
+                    write_frame(sock, ("ack", message[1].chunk_id))
+                    return  # dies mid-chunk: ack sent, result never will be
+                elif message[0] == "shutdown":
+                    return
+        finally:
+            sock.close()
+
+
+class WedgeMidChunkEndpoint(LoopbackEndpoint):
+    """Worker that acks its first chunk then goes silent (socket stays open).
+
+    Unlike :class:`KillMidChunkEndpoint` the parent sees no transport error;
+    only the heartbeat timeout can unblock the drain.
+    """
+
+    def worker_target(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                message = read_frame(sock)
+                if message[0] == "hello":
+                    write_frame(sock, ("hello_ack", {"worker_id": -1}))
+                elif message[0] == "chunk":
+                    write_frame(sock, ("ack", message[1].chunk_id))
+                    time.sleep(SCENARIO_TIMEOUT)  # wedged; daemon thread
+                elif message[0] == "shutdown":
+                    return
+        except Exception:
+            pass
+        finally:
+            sock.close()
+
+
+class GarbageFrameEndpoint(LoopbackEndpoint):
+    """Worker that acks its first chunk and then corrupts the stream.
+
+    The socket stays open afterwards so the *decoder* error is what the
+    parent observes (closing it would race a broken-pipe send failure in
+    first; either way the endpoint is excluded, but this test pins the
+    wire-protocol detection specifically).
+    """
+
+    def worker_target(self, sock: socket.socket) -> None:
+        try:
+            while True:
+                message = read_frame(sock)
+                if message[0] == "hello":
+                    write_frame(sock, ("hello_ack", {"worker_id": -1}))
+                elif message[0] == "chunk":
+                    write_frame(sock, ("ack", message[1].chunk_id))
+                    sock.sendall(b"\xde\xad\xbe\xef" * 16)  # not a frame
+                    time.sleep(SCENARIO_TIMEOUT)  # stream corrupted; linger
+                elif message[0] == "shutdown":
+                    return
+        except Exception:
+            pass
+        finally:
+            sock.close()
+
+
+class CrashTaskEndpoint(LoopbackEndpoint):
+    """Healthy transport whose task bodies raise (worker-side task bug)."""
+
+    def worker_target(self, sock: socket.socket) -> None:
+        serve_connection(sock)
+
+
+# -- harness --------------------------------------------------------------------------
+def run_square_program(
+    endpoints,
+    n_tasks: int = 24,
+    timeout_s: float = FAULT_NET_TIMEOUT,
+    max_retries: int = 2,
+    chunk_size: int = 2,
+):
+    """Drain ``n_tasks`` independent squares through ``endpoints``.
+
+    Returns ``(result, sources, sinks, executor)``; the executor is already
+    closed by the session.
+    """
+    config = RuntimeConfig(
+        executor="network",
+        num_threads=len(endpoints),
+        mp_chunk_size=chunk_size,
+        net_timeout_s=timeout_s,
+        net_max_retries=max_retries,
+    )
+    executor = NetworkExecutor(config=config, endpoints=list(endpoints))
+    executor.drain_timeout = SCENARIO_TIMEOUT
+    sources = [np.full(8, float(i + 1)) for i in range(n_tasks)]
+    sinks = [np.zeros(8) for _ in range(n_tasks)]
+    with Session(executor=executor) as session:
+        for src, dst in zip(sources, sinks):
+            session.submit(
+                SQUARE_TYPE, square_body, accesses=[In(src), Out(dst)],
+                args=(src, dst),
+            )
+        result = session.wait_all()
+    return result, sources, sinks, executor
+
+
+def assert_correct(result, sources, sinks) -> None:
+    assert result.tasks_completed == len(sources)
+    for src, dst in zip(sources, sinks):
+        assert np.array_equal(dst, src ** 2)
+
+
+# -- scenarios ------------------------------------------------------------------------
+def test_dropped_acks_do_not_stall_the_drain():
+    """Acks are liveness metadata: losing every one of them must not matter
+    as long as results flow (results update last-heard too)."""
+    endpoints = [DropAckEndpoint("drop-ack/0"), LoopbackEndpoint("healthy/0")]
+    result, sources, sinks, executor = run_square_program(endpoints)
+    assert_correct(result, sources, sinks)
+    # The ack-dropping endpoint stayed healthy: no failures recorded.
+    assert executor._failures == []
+
+
+def test_delay_past_heartbeat_fails_endpoint_and_resubmits():
+    slow = DelayPastHeartbeatEndpoint("slow/0", delay_s=FAULT_NET_TIMEOUT * 4)
+    endpoints = [slow, LoopbackEndpoint("healthy/0")]
+    t0 = time.monotonic()
+    result, sources, sinks, executor = run_square_program(endpoints)
+    assert time.monotonic() - t0 < SCENARIO_TIMEOUT
+    assert_correct(result, sources, sinks)
+    backend = result.extra["network_backend"]
+    assert any("slow/0" in failure for failure in backend["failed_endpoints"])
+    assert backend["resubmitted_tasks"] > 0
+    # The late duplicate result (delivered after the failure) was dropped:
+    # exactly n completions, no double accounting.
+    assert result.tasks_memoized + result.tasks_executed == result.tasks_completed
+
+
+@pytest.mark.parametrize("faulty_cls", [KillMidChunkEndpoint, WedgeMidChunkEndpoint])
+def test_dead_worker_mid_chunk_is_excluded_and_work_resubmitted(faulty_cls):
+    faulty = faulty_cls("dying/0")
+    endpoints = [faulty, LoopbackEndpoint("healthy/0"), LoopbackEndpoint("healthy/1")]
+    t0 = time.monotonic()
+    result, sources, sinks, executor = run_square_program(endpoints)
+    assert time.monotonic() - t0 < SCENARIO_TIMEOUT
+    assert_correct(result, sources, sinks)
+    backend = result.extra["network_backend"]
+    assert any("dying/0" in failure for failure in backend["failed_endpoints"])
+    assert backend["resubmitted_tasks"] > 0
+    assert faulty.failed  # excluded from any further dispatch
+
+
+@pytest.mark.parametrize("backend", ["network", "process"])
+def test_session_assigned_engine_reaches_workers(backend):
+    """Session assigns its assembled engine to a pre-built engine-less
+    executor *after* construction; the worker engine spec must be computed
+    at connection/spawn time, or workers silently run without ATM."""
+    config = RuntimeConfig(
+        executor=backend, num_threads=1, mp_workers=1, mp_chunk_size=16,
+        net_timeout_s=FAULT_NET_TIMEOUT,
+    )
+    if backend == "network":
+        executor = NetworkExecutor(
+            config=config, endpoints=[LoopbackEndpoint("lo/0")]
+        )
+        executor.drain_timeout = SCENARIO_TIMEOUT
+    else:
+        from repro.runtime.mp_executor import ProcessExecutor
+
+        executor = ProcessExecutor(config=config)
+    n = 6
+    source = np.full(16, 2.0)
+    sinks = [np.zeros(16) for _ in range(n)]
+    with Session(
+        {"atm": {"mode": "static", "use_ikt": False}}, executor=executor
+    ) as session:
+        for dst in sinks:
+            session.submit(
+                SQUARE_TYPE, square_body, accesses=[In(source), Out(dst)],
+                args=(source, dst),
+            )
+        result = session.wait_all()
+    assert result.tasks_memoized == n - 1  # twins hit the worker's THT
+    for dst in sinks:
+        assert np.array_equal(dst, np.full(16, 4.0))
+
+
+def test_mid_drain_endpoint_loss_records_lost_engine_delta():
+    """An engine-carrying endpoint that dies after receiving work loses its
+    un-merged ATM delta — the run result must say so (lost_deltas >= 1)."""
+    from repro.atm.engine import ATMEngine
+    from repro.atm.policy import StaticATMPolicy
+    from repro.common.config import ATMConfig
+
+    atm_config = ATMConfig(use_ikt=False)
+    engine = ATMEngine(
+        config=atm_config, policy=StaticATMPolicy(atm_config), num_threads=2
+    )
+    endpoints = [KillMidChunkEndpoint("dying/0"), LoopbackEndpoint("healthy/0")]
+    config = RuntimeConfig(
+        executor="network", num_threads=2, mp_chunk_size=2,
+        net_timeout_s=FAULT_NET_TIMEOUT, net_max_retries=2,
+    )
+    executor = NetworkExecutor(config=config, engine=engine, endpoints=endpoints)
+    executor.drain_timeout = SCENARIO_TIMEOUT
+    sources = [np.full(8, float(i + 1)) for i in range(12)]
+    sinks = [np.zeros(8) for _ in range(12)]
+    with Session(executor=executor) as session:
+        for src, dst in zip(sources, sinks):
+            session.submit(
+                SQUARE_TYPE, square_body, accesses=[In(src), Out(dst)],
+                args=(src, dst),
+            )
+        result = session.wait_all()
+    assert_correct(result, sources, sinks)
+    backend = result.extra["network_backend"]
+    assert backend["lost_deltas"] >= 1
+    # The healthy endpoint's delta did merge: the parent engine saw tasks.
+    assert engine.stats.snapshot()["tasks_seen"] > 0
+
+
+def test_garbage_frame_fails_endpoint_with_wire_error_and_drain_completes():
+    garbled = GarbageFrameEndpoint("garbled/0")
+    endpoints = [garbled, LoopbackEndpoint("healthy/0")]
+    result, sources, sinks, executor = run_square_program(endpoints)
+    assert_correct(result, sources, sinks)
+    backend = result.extra["network_backend"]
+    failure = next(f for f in backend["failed_endpoints"] if "garbled/0" in f)
+    assert "WireProtocolError" in failure
+    assert garbled.failed
+
+
+def test_total_loss_raises_named_error_instead_of_hanging():
+    endpoints = [KillMidChunkEndpoint("dying/0"), KillMidChunkEndpoint("dying/1")]
+    t0 = time.monotonic()
+    with pytest.raises(NetworkDrainError):
+        run_square_program(endpoints, n_tasks=8)
+    assert time.monotonic() - t0 < SCENARIO_TIMEOUT
+
+
+def test_retry_budget_exhaustion_raises_named_error():
+    """One healthy endpoint cannot save a task whose retries are exhausted:
+    with max_retries=0 the first resubmission attempt must raise."""
+    endpoints = [KillMidChunkEndpoint("dying/0"), LoopbackEndpoint("healthy/0")]
+    t0 = time.monotonic()
+    with pytest.raises(NetworkDrainError, match="net_max_retries"):
+        run_square_program(endpoints, n_tasks=24, max_retries=0)
+    assert time.monotonic() - t0 < SCENARIO_TIMEOUT
+
+
+def test_all_endpoints_unreachable_raises_named_error():
+    class Unreachable(LoopbackEndpoint):
+        def connect(self):
+            raise OSError("connection refused")
+
+    endpoints = [Unreachable("gone/0"), Unreachable("gone/1")]
+    with pytest.raises(NetworkDrainError, match="no network endpoint"):
+        run_square_program(endpoints, n_tasks=4)
+
+
+def _raise_in_worker(src, dst):  # module-level: must pickle by reference
+    raise ValueError("boom inside the worker")
+
+
+def _bump_body(x):  # module-level: must pickle by reference
+    x += 1.0
+
+
+def test_worker_task_exception_surfaces_as_runtime_error():
+    """A *task* bug is not a transport fault: it aborts the drain loudly
+    (resubmitting a deterministic crash elsewhere would just crash again)."""
+    config = RuntimeConfig(
+        executor="network", num_threads=1, net_timeout_s=FAULT_NET_TIMEOUT
+    )
+    executor = NetworkExecutor(
+        config=config, endpoints=[CrashTaskEndpoint("healthy/0")]
+    )
+    executor.drain_timeout = SCENARIO_TIMEOUT
+    src, dst = np.ones(4), np.zeros(4)
+    with pytest.raises(RuntimeStateError, match="boom inside the worker"):
+        with Session(executor=executor) as session:
+            session.submit(
+                SQUARE_TYPE, _raise_in_worker,
+                accesses=[In(src), Out(dst)], args=(src, dst),
+            )
+            session.wait_all()
+
+
+# -- churn soak (excluded from tier-1; run with `pytest -m net_soak`) -----------------
+@pytest.mark.net_soak
+def test_500_task_churn_with_mid_drain_worker_loss():
+    """500-task churn across 4 endpoints, one of which dies mid-drain.
+
+    Dependences chain every 5th task so completions interleave with fresh
+    dispatches for the whole drain; the dying endpoint forces resubmission
+    under churn.  Everything must come out bit-correct.
+    """
+    endpoints = [
+        KillMidChunkEndpoint("dying/0"),
+        LoopbackEndpoint("healthy/0"),
+        LoopbackEndpoint("healthy/1"),
+        LoopbackEndpoint("healthy/2"),
+    ]
+    config = RuntimeConfig(
+        executor="network",
+        num_threads=len(endpoints),
+        mp_chunk_size=4,
+        net_timeout_s=1.0,
+        net_max_retries=3,
+    )
+    executor = NetworkExecutor(config=config, endpoints=endpoints)
+    executor.drain_timeout = 120.0
+    n_chains, chain_length = 100, 5
+    bump_type = TaskType("bump", memoizable=False)
+    buffers = [np.full(16, float(i + 1)) for i in range(n_chains)]
+    with Session(executor=executor) as session:
+        for _ in range(chain_length):
+            for buffer in buffers:
+                session.submit(
+                    bump_type, _bump_body,
+                    accesses=[InOut(buffer)], args=(buffer,),
+                )
+        result = session.wait_all()
+    assert result.tasks_completed == n_chains * chain_length
+    for i, buffer in enumerate(buffers):
+        assert np.array_equal(buffer, np.full(16, float(i + 1) + chain_length))
+    backend = result.extra["network_backend"]
+    assert any("dying/0" in failure for failure in backend["failed_endpoints"])

@@ -63,6 +63,11 @@ runtime_configs = st.builds(
     mp_workers=st.none() | st.integers(min_value=1, max_value=16),
     mp_chunk_size=st.integers(min_value=1, max_value=64),
     mp_start_method=st.sampled_from([None, "fork", "spawn", "forkserver"]),
+    net_endpoints=st.sampled_from(
+        ["loopback", "loopback:3", "127.0.0.1:9101", "a:1,b:2,c:3"]
+    ),
+    net_timeout_s=st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
+    net_max_retries=st.integers(min_value=0, max_value=16),
 )
 
 atm_configs = st.builds(
@@ -125,8 +130,10 @@ class TestFileRoundTrip:
     @pytest.mark.parametrize("suffix", ["toml", "json"])
     def test_non_default_round_trips(self, tmp_path, suffix):
         cfg = ReproConfig.from_dict({
-            "runtime": {"executor": "process", "mp_workers": 3,
-                        "mp_start_method": "spawn", "num_threads": 5},
+            "runtime": {"executor": "network", "mp_workers": 3,
+                        "mp_start_method": "spawn", "num_threads": 5,
+                        "net_endpoints": "10.0.0.1:9101,10.0.0.2:9101",
+                        "net_timeout_s": 2.5, "net_max_retries": 5},
             "atm": {"mode": "dynamic", "p": 0.25, "hash_function": "lookup3"},
             "simulation": {"copy_bandwidth": 123.5},
         })
