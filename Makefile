@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures examples net-loopback net-soak ci
+.PHONY: test bench bench-check bench-quick figures examples net-loopback net-soak fault-matrix ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -45,6 +45,13 @@ net-loopback:
 net-soak:
 	$(PYTHON) -m pytest -m net_soak -q
 
+# Supervision tier: the cross-backend fault-injection matrix (raising,
+# flaky, wedged and worker-killing tasks against timeouts/retries/
+# quarantine on every executor; excluded from tier-1 by the marker
+# expression in pytest.ini because it sleeps and kills workers on purpose).
+fault-matrix:
+	$(PYTHON) -m pytest -m fault -q
+
 # Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke,
 # network-loopback matrix + soak, perf gates.
 ci:
@@ -52,4 +59,5 @@ ci:
 	$(MAKE) examples
 	$(MAKE) net-loopback
 	$(MAKE) net-soak
+	$(MAKE) fault-matrix
 	$(PYTHON) scripts/bench.py --check

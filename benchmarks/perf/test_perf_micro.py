@@ -60,9 +60,14 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 4
+        assert report["schema_version"] == 5
         assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
+        # Schema 5: the fault-recovery micro (kill + respawn mid-drain).
+        recovery = report["micro"]["fault_recovery"]
+        assert recovery["respawns"] >= 1
+        assert recovery["healthy_wall_s"] > 0
+        assert recovery["faulty_wall_s"] > 0
         assert len(report["endtoend"]) == 6
         backend = report["process_backend"]
         assert backend["rows"], "process-backend comparison rows missing"

@@ -86,8 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=5,
-        help="report generation number (default 5)",
+        "--bench-id", type=int, default=6,
+        help="report generation number (default 6)",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="previous BENCH_<n>.json to gate against (default: "
+             "BENCH_<id-1>.json at the repo root, when it exists)",
     )
     parser.add_argument(
         "--quick", action="store_true",
@@ -119,7 +124,12 @@ def main(argv: list[str] | None = None) -> int:
             print("bench --check: keygen equivalence suite FAILED", file=sys.stderr)
             return status
 
-    from repro.perf.report import build_report, check_report, write_report
+    from repro.perf.report import (
+        build_report,
+        check_report,
+        compare_to_baseline,
+        write_report,
+    )
 
     report = build_report(bench_id=args.bench_id, quick=args.quick)
     out = Path(args.out) if args.out else REPO_ROOT / f"BENCH_{args.bench_id}.json"
@@ -142,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         print(f"    submit {case['shape']:22} batch {case['batch']:3}  "
               f"{case['submit_us_per_task']:8.3f}us  "
               f"{case['tasks_per_sec']:10.1f} tasks/s")
+    recovery = report["micro"]["fault_recovery"]
+    print(f"  fault recovery (kill 1/{recovery['workers']} workers): "
+          f"healthy {recovery['healthy_wall_s']:.3f}s  "
+          f"faulty {recovery['faulty_wall_s']:.3f}s  "
+          f"overhead {recovery['recovery_overhead_s']:.3f}s  "
+          f"respawns {recovery['respawns']}")
     for run in report["endtoend"]:
         print(f"  e2e {run['benchmark']:13} {run['mode']:8} "
               f"wall {run['wall_s']:7.3f}s  reuse {run['reuse_percent']:6.2f}%  "
@@ -162,6 +178,16 @@ def main(argv: list[str] | None = None) -> int:
               f"{limited}")
 
     failures = check_report(report)
+    baseline_path = (
+        Path(args.baseline) if args.baseline
+        else REPO_ROOT / f"BENCH_{args.bench_id - 1}.json"
+    )
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+        baseline_failures = compare_to_baseline(report, baseline)
+        failures += baseline_failures
+        print(f"  baseline gate vs {baseline_path.name}: "
+              f"{'FAILED' if baseline_failures else 'checksums + throughput held'}")
     if failures:
         for failure in failures:
             print(f"bench: FAIL {failure}", file=sys.stderr)

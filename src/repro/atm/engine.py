@@ -190,6 +190,27 @@ class ATMEngine:
             deferred_completed=completed,
         )
 
+    def task_abandoned(self, task: Task, decision: ATMDecision) -> list[Task]:
+        """Release engine state for a task that will never commit.
+
+        Called by executor supervision when a task fails terminally (see
+        DESIGN.md §7): retires the in-flight IKT registration so future
+        identical tasks do not defer on a dead producer, and returns any
+        already-deferred consumers — the outputs they were waiting for will
+        never be produced, so the executor re-executes them directly.
+        """
+        if not decision.atm_handled:
+            return []
+        key = decision.payload.get("key")
+        if (
+            key is not None
+            and decision.payload.get("ikt_registered")
+            and self.ikt is not None
+        ):
+            self.ikt.retire(key, task.task_type.name, task)
+        with self._petition_lock:
+            return self._petitions.pop(task.task_id, [])
+
     # -- helpers ---------------------------------------------------------------------
     @staticmethod
     def _copy_outputs_from_entry(task: Task, entry: THTEntry) -> int:

@@ -215,6 +215,34 @@ class RuntimeConfig:
         How many times one task may be resubmitted after endpoint failures
         before the drain raises
         :class:`~repro.common.exceptions.NetworkDrainError`.
+    task_timeout_s:
+        Per-task wall-clock budget enforced by the supervision layer
+        (DESIGN.md §7).  ``None`` (default) disables per-task timeouts.  The
+        process/network backends enforce it preemptively (the worker is
+        killed/excluded and the task resubmitted or failed); the in-process
+        backends (serial/threaded) cannot preempt a running Python frame and
+        detect the overrun when the task returns.
+    task_max_retries:
+        How many times a failed task (body raised, timed out, or its worker
+        died) is re-run before it is declared failed.  ``0`` (default) fails
+        on the first error, preserving pre-supervision behaviour.
+    retry_backoff_s:
+        Base of the exponential back-off between task retries: attempt *k*
+        sleeps ``retry_backoff_s * 2**(k-1)`` seconds before re-running.
+    drain_timeout_s:
+        Safety deadline for a single drain (seconds).  Replaces the
+        per-executor hardcoded ``DRAIN_TIMEOUT`` class constants; on expiry
+        the drain dumps all thread stacks (``faulthandler``) and raises
+        :class:`~repro.common.exceptions.DrainAbortedError` instead of
+        hanging.
+    on_task_failure:
+        What a drain does when a task exhausts its retry budget:
+        ``"abort"`` (default) raises
+        :class:`~repro.common.exceptions.DrainAbortedError` carrying every
+        recorded failure; ``"quarantine"`` marks the task ``FAILED``, cancels
+        its dependent subgraph (``CANCELLED``) and keeps draining the
+        independent tasks — the failures are reported in
+        ``RunResult.failures``.
     """
 
     num_threads: int = 8
@@ -229,6 +257,11 @@ class RuntimeConfig:
     net_endpoints: str = "loopback"
     net_timeout_s: float = 30.0
     net_max_retries: int = 2
+    task_timeout_s: Optional[float] = None
+    task_max_retries: int = 0
+    retry_backoff_s: float = 0.05
+    drain_timeout_s: float = 300.0
+    on_task_failure: str = "abort"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -262,6 +295,27 @@ class RuntimeConfig:
         if self.net_max_retries < 0:
             raise ConfigurationError(
                 f"net_max_retries must be >= 0, got {self.net_max_retries}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be > 0 or None, got {self.task_timeout_s}"
+            )
+        if self.task_max_retries < 0:
+            raise ConfigurationError(
+                f"task_max_retries must be >= 0, got {self.task_max_retries}"
+            )
+        if self.retry_backoff_s < 0:
+            raise ConfigurationError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigurationError(
+                f"drain_timeout_s must be > 0, got {self.drain_timeout_s}"
+            )
+        if self.on_task_failure not in ("abort", "quarantine"):
+            raise ConfigurationError(
+                f"on_task_failure must be 'abort' or 'quarantine', "
+                f"got {self.on_task_failure!r}"
             )
 
     def with_overrides(self, **kwargs) -> "RuntimeConfig":

@@ -36,6 +36,56 @@ class SchedulerError(ReproError):
     """A scheduler was asked to perform an unsupported operation."""
 
 
+# -- task supervision taxonomy (DESIGN.md §7 "Failure semantics") ----------------
+#
+# Every backend reports task-level failures through the same four names so
+# callers can write backend-agnostic handlers: per-task conditions
+# (``TaskFailedError``, ``TaskTimeoutError``, ``WorkerLostError``) describe
+# *why one task* could not complete and appear as ``RunResult.failures``
+# entries under quarantine; ``DrainAbortedError`` (and its network
+# specialisation ``NetworkDrainError``) is what a drain *raises* when it
+# cannot or may not continue.
+
+
+class TaskFailedError(ReproError):
+    """A task body raised and exhausted its retry budget.
+
+    ``label`` names the task, ``attempts`` counts executions (1 + retries).
+    The original exception is chained as ``__cause__`` where available.
+    """
+
+    def __init__(self, message: str, label: str = "", attempts: int = 1) -> None:
+        super().__init__(message)
+        self.label = label
+        self.attempts = attempts
+
+
+class TaskTimeoutError(TaskFailedError):
+    """A task exceeded its per-task wall-clock budget (``task_timeout_s``)."""
+
+
+class WorkerLostError(TaskFailedError):
+    """The worker process/endpoint executing a task died mid-flight.
+
+    Raised (or recorded as the failure reason) after the task's resubmission
+    budget is exhausted — a single crash only triggers resubmission.
+    """
+
+
+class DrainAbortedError(RuntimeStateError):
+    """A drain was aborted by task failures or a drain-level timeout.
+
+    Carries the structured per-task report in ``failures`` (a list of
+    :class:`repro.runtime.supervision.TaskFailure`); the message names every
+    failed task.  Subclasses :class:`RuntimeStateError` so pre-supervision
+    callers catching the broad runtime error keep working.
+    """
+
+    def __init__(self, message: str, failures: "list | None" = None) -> None:
+        super().__init__(message)
+        self.failures = list(failures or [])
+
+
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
 
@@ -53,12 +103,14 @@ class NetworkTransportError(ReproError):
     """A network endpoint could not be reached or its connection broke."""
 
 
-class NetworkDrainError(ReproError):
+class NetworkDrainError(DrainAbortedError):
     """A network-backend drain cannot complete.
 
     Raised — instead of hanging — when every endpoint has failed, a task
     exhausted its resubmission budget (``RuntimeConfig.net_max_retries``), or
-    the drain deadline expired with work still outstanding.
+    the drain deadline expired with work still outstanding.  A
+    :class:`DrainAbortedError` specialisation: transport-level aborts join
+    the unified supervision taxonomy.
     """
 
 

@@ -1,13 +1,14 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 4 — adds the ``network_s`` /
+perf trajectory.  Schema (``schema_version`` 5 — adds the
+``micro.fault_recovery`` suite; version 4 added the ``network_s`` /
 ``net_dispatch_overhead_ms_per_task`` columns to the backend rows):
 
 .. code-block:: text
 
     {
-      "schema_version": 3,
+      "schema_version": 5,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
       "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
@@ -18,7 +19,9 @@ perf trajectory.  Schema (``schema_version`` 4 — adds the ``network_s`` /
         "dependences": {...},
         "submission": {"tasks": ..., "batch": ..., "cases": [...],
                         "batch_speedup": {...}, "best_tasks_per_sec": ...},
-        "simulator": {...}
+        "simulator": {...},
+        "fault_recovery": {"healthy_wall_s": ..., "faulty_wall_s": ...,
+                            "recovery_overhead_s": ..., "respawns": ...}
       },
       "endtoend": [ {per-run record, incl. output_checksum}, ... ],
       "process_backend": {   # serial/threaded/process/network comparison
@@ -47,6 +50,12 @@ fastest observation estimates true cost best on loaded shared runners),
 and the 30k tasks/sec floor sits >2x below the ~80-90k the slowest shape
 (stencil, batch=1) measures on this container while a regression back
 towards the pre-PR-4 17.5k tasks/sec still fails loudly.
+
+``compare_to_baseline`` (schema 5) cross-checks a new report against the
+previous ``BENCH_<n-1>.json``: end-to-end output checksums must be
+bit-identical and the gated submission floor must hold within
+``BASELINE_TOLERANCE`` of the baseline's measurement — the regression
+tripwire proving the supervision layer costs nothing on the happy path.
 """
 
 from __future__ import annotations
@@ -62,12 +71,17 @@ import numpy as np
 __all__ = [
     "build_report",
     "check_report",
+    "compare_to_baseline",
     "write_report",
     "safe_ratio",
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 4
+#: Schema 5 adds ``micro.fault_recovery`` (kill-1-of-N-workers recovery on
+#: the process backend) and the baseline comparison gates
+#: (:func:`compare_to_baseline`: e2e checksums bit-identical, submission
+#: throughput within tolerance of the previous BENCH report).
+SCHEMA_VERSION = 5
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
@@ -87,6 +101,7 @@ THRESHOLDS = {
 def build_report(bench_id: int = 1, quick: bool = False) -> dict:
     """Run the whole suite and assemble the report dict."""
     from repro.perf.endtoend import bench_end_to_end
+    from repro.perf.fault_recovery import bench_fault_recovery
     from repro.perf.micro import (
         bench_dependences,
         bench_keygen,
@@ -106,6 +121,9 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "dependences": bench_dependences(tasks=200 if quick else 600),
         "submission": bench_submission(tasks=200 if quick else 600),
         "simulator": bench_simulator_drain(tasks=150 if quick else 400),
+        "fault_recovery": bench_fault_recovery(
+            workers=2, tasks=8 if quick else 12, rounds=2 if quick else 3
+        ),
     }
     endtoend = bench_end_to_end()
     # Quick mode trims the backend comparison to the cheap task-churn case
@@ -160,6 +178,47 @@ def check_report(report: dict) -> list[str]:
             failures.append(f"missing check metric {name!r}")
         elif value < threshold:
             failures.append(f"{name} = {value} below threshold {threshold}")
+    return failures
+
+
+#: Allowed happy-path submission-throughput drop against the previous
+#: BENCH report (supervision must cost ~nothing when no task fails).
+BASELINE_TOLERANCE = 0.95
+
+
+def compare_to_baseline(report: dict, baseline: dict) -> list[str]:
+    """Gate ``report`` against the previous BENCH generation.
+
+    Two invariants the supervision layer must not break on the happy path:
+
+    * every end-to-end ``output_checksum`` present in both reports is
+      bit-identical (same benchmark, same mode);
+    * the gated submission throughput stays within
+      :data:`BASELINE_TOLERANCE` of the baseline value.
+    """
+    failures: list[str] = []
+    base_runs = {
+        (run["benchmark"], run["mode"]): run["output_checksum"]
+        for run in baseline.get("endtoend", [])
+    }
+    for run in report.get("endtoend", []):
+        key = (run["benchmark"], run["mode"])
+        expected = base_runs.get(key)
+        if expected is not None and run["output_checksum"] != expected:
+            failures.append(
+                f"e2e checksum changed for {key[0]}/{key[1]}: "
+                f"{run['output_checksum']} != baseline {expected}"
+            )
+    base_submission = baseline.get("checks", {}).get("submission_tasks_per_sec")
+    submission = report.get("checks", {}).get("submission_tasks_per_sec")
+    if base_submission and submission is not None:
+        floor = base_submission * BASELINE_TOLERANCE
+        if submission < floor:
+            failures.append(
+                f"submission_tasks_per_sec = {submission} fell below "
+                f"{BASELINE_TOLERANCE:.0%} of baseline {base_submission} "
+                f"(floor {floor:.1f})"
+            )
     return failures
 
 

@@ -26,7 +26,12 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.common.config import RuntimeConfig
-from repro.common.exceptions import RuntimeStateError
+from repro.common.exceptions import (
+    DrainAbortedError,
+    RuntimeStateError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
 from repro.common.registry import EXECUTORS
 from repro.runtime.atm_protocol import (
     ATMAction,
@@ -36,6 +41,7 @@ from repro.runtime.atm_protocol import (
 )
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.scheduler import Scheduler, make_scheduler
+from repro.runtime.supervision import TaskSupervisor, dump_stacks
 from repro.runtime.task import Task, TaskState
 from repro.runtime.trace import CoreState, TraceRecorder
 
@@ -56,6 +62,12 @@ class RunResult:
     ``elapsed`` is wall-clock seconds for the serial/threaded executors and
     simulated microseconds for the simulator (``time_unit`` distinguishes
     them).
+
+    ``tasks_completed`` counts *successful* tasks only; quarantined runs
+    (``on_task_failure="quarantine"``) additionally report ``tasks_failed``
+    (exhausted supervision budget), ``tasks_cancelled`` (dependent subgraph)
+    and the structured per-failure report in ``failures`` (a list of
+    :class:`repro.runtime.supervision.TaskFailure`).
     """
 
     elapsed: float = 0.0
@@ -65,6 +77,9 @@ class RunResult:
     tasks_memoized: int = 0
     tasks_deferred: int = 0
     tasks_trained: int = 0
+    tasks_failed: int = 0
+    tasks_cancelled: int = 0
+    failures: list = field(default_factory=list)
     trace: Optional[TraceRecorder] = None
     extra: dict = field(default_factory=dict)
 
@@ -78,6 +93,10 @@ class RunResult:
         self.tasks_memoized += other.tasks_memoized
         self.tasks_deferred += other.tasks_deferred
         self.tasks_trained += other.tasks_trained
+        self.tasks_failed += other.tasks_failed
+        self.tasks_cancelled += other.tasks_cancelled
+        if other.failures is not self.failures:
+            self.failures.extend(other.failures)
         if other.trace is not None:
             self.trace = other.trace
 
@@ -104,6 +123,11 @@ class BaseExecutor:
         self.scheduler: Scheduler = make_scheduler(self.config)
         self.trace = TraceRecorder(enabled=self.config.enable_tracing)
         self._result = RunResult(time_unit=self.time_unit, trace=self.trace)
+        # Supervision: retries/timeouts/quarantine per DESIGN.md §7.  The
+        # supervisor writes failures straight onto the run result; drains
+        # refresh it so each drain gets a fresh deadline/attempt ledger.
+        self._supervisor = TaskSupervisor(self.config, failures=self._result.failures)
+        self._failure_lock = threading.Lock()
 
     # -- runtime hooks ---------------------------------------------------------
     def notify_ready(self, task: Task) -> None:
@@ -167,6 +191,89 @@ class BaseExecutor:
         else:
             result.tasks_executed += 1
 
+    # -- supervision (DESIGN.md §7 "Failure semantics") ------------------------
+    def _fresh_supervisor(self) -> TaskSupervisor:
+        """New per-drain supervisor, still sinking into the run result."""
+        self._supervisor = TaskSupervisor(self.config, failures=self._result.failures)
+        return self._supervisor
+
+    def _run_supervised(self, task: Task):
+        """Run the task body under the retry/timeout budget.
+
+        Returns ``None`` on success, else ``(error_cls, reason, exc)`` for
+        the terminal failure.  Retries re-run in place with exponential
+        backoff; a post-hoc timeout (in-process backends cannot preempt a
+        Python frame) is terminal immediately — a task that blew its budget
+        once would blow it again.
+        """
+        supervisor = self._supervisor
+        while True:
+            t_start = time.perf_counter()
+            try:
+                task.run()
+            except Exception as exc:
+                backoff = supervisor.count_attempt(task)
+                if backoff is not None:
+                    time.sleep(backoff)
+                    continue
+                return (TaskFailedError, f"{type(exc).__name__}: {exc}", exc)
+            elapsed = time.perf_counter() - t_start
+            if supervisor.timed_out(elapsed):
+                return (TaskTimeoutError, supervisor.timeout_reason(elapsed), None)
+            return None
+
+    def _abandon_atm(self, task: Task, decision: ATMDecision) -> list:
+        """Release engine state held for a task that will never commit.
+
+        Returns the engine's orphaned deferred consumers (tasks that were
+        waiting for this producer's outputs), if any.
+        """
+        if decision.atm_handled and self.engine is not None:
+            abandoned = getattr(self.engine, "task_abandoned", None)
+            if callable(abandoned):
+                return abandoned(task, decision) or []
+        return []
+
+    def _task_failed(
+        self,
+        task: Task,
+        graph: TaskDependenceGraph,
+        decision: ATMDecision,
+        error: type,
+        reason: str,
+        exc: Optional[BaseException],
+        worker: str = "",
+    ) -> None:
+        """Terminal task failure: quarantine the subgraph or abort the drain."""
+        orphans = self._abandon_atm(task, decision)
+        supervisor = self._supervisor
+        if not supervisor.quarantine:
+            with self._failure_lock:
+                abort = supervisor.abort(task, error, reason, worker=worker)
+            raise abort from exc
+        with self._failure_lock:
+            cancelled = supervisor.quarantine_task(
+                graph, task, error, reason, worker=worker
+            )
+            self._result.tasks_failed += 1
+            self._result.tasks_cancelled += len(cancelled)
+        # Deferred consumers of the failed producer are *independent* tasks
+        # (same key, no dependence edge): execute them directly rather than
+        # cancelling work whose inputs are perfectly healthy.
+        for orphan in orphans:
+            self._rescue_orphan(orphan, graph, worker=worker)
+
+    def _rescue_orphan(self, task: Task, graph: TaskDependenceGraph, worker: str = "") -> None:
+        """Execute a deferred consumer whose in-flight producer failed."""
+        task.state = TaskState.RUNNING
+        failure = self._run_supervised(task)
+        if failure is not None:
+            self._task_failed(task, graph, EXECUTE_DECISION, *failure, worker=worker)
+            return
+        with graph._lock:
+            self._account(EXECUTE_DECISION)
+        graph.complete_task(task, TaskState.FINISHED)
+
     def drain(self, graph: TaskDependenceGraph) -> RunResult:  # pragma: no cover
         raise NotImplementedError
 
@@ -183,6 +290,8 @@ class SerialExecutor(BaseExecutor):
 
     def drain(self, graph: TaskDependenceGraph) -> RunResult:
         t0 = time.perf_counter()
+        supervisor = self._fresh_supervisor()
+        deadline = supervisor.deadline()
         if self.engine is not None:
             self.engine.set_deferred_completion_callback(
                 lambda task, nbytes: graph.complete_task(task, TaskState.MEMOIZED)
@@ -197,6 +306,8 @@ class SerialExecutor(BaseExecutor):
                     "(deferred task without a producer?)"
                 )
             self._process(task, graph)
+            if time.perf_counter() >= deadline:
+                raise supervisor.drain_timeout("serial drain")
         elapsed = time.perf_counter() - t0
         self._result.elapsed += elapsed
         self._finalize_result()
@@ -211,7 +322,10 @@ class SerialExecutor(BaseExecutor):
         executed = False
         if not decision.skips_execution:
             task.state = TaskState.RUNNING
-            task.run()
+            failure = self._run_supervised(task)
+            if failure is not None:
+                self._task_failed(task, graph, decision, *failure, worker="serial")
+                return
             executed = True
         t_after_run = now()
         if executed:
@@ -242,12 +356,13 @@ class ThreadedExecutor(BaseExecutor):
 
     #: Idle back-off (seconds) for workers when the ready queue is empty.
     IDLE_SLEEP = 0.0005
-    #: Safety timeout for a single drain (seconds).
-    DRAIN_TIMEOUT = 300.0
+    #: Grace period (seconds) for sibling workers to stop after a drain ends.
+    JOIN_TIMEOUT = 5.0
 
     def drain(self, graph: TaskDependenceGraph) -> RunResult:
         if graph.all_finished:
             return self._result
+        supervisor = self._fresh_supervisor()
         stop_flag = threading.Event()
         errors: list[BaseException] = []
         errors_lock = threading.Lock()
@@ -267,7 +382,7 @@ class ThreadedExecutor(BaseExecutor):
                     continue
                 try:
                     self._process(task, graph, worker_id)
-                except BaseException as exc:  # pragma: no cover - defensive
+                except BaseException as exc:
                     with errors_lock:
                         errors.append(exc)
                     stop_flag.set()
@@ -280,21 +395,42 @@ class ThreadedExecutor(BaseExecutor):
         for thread in threads:
             thread.start()
         finished = False
-        deadline = time.perf_counter() + self.DRAIN_TIMEOUT
-        while time.perf_counter() < deadline:
+        timed_out = False
+        deadline = supervisor.deadline()
+        while True:
             if graph.wait_all_finished(timeout=0.05):
                 finished = True
                 break
             if stop_flag.is_set():
                 break
+            if time.perf_counter() >= deadline:
+                timed_out = True
+                break
         stop_flag.set()
         for thread in threads:
-            thread.join(timeout=5.0)
+            thread.join(timeout=self.JOIN_TIMEOUT)
+        stuck = [thread.name for thread in threads if thread.is_alive()]
         elapsed = time.perf_counter() - t0
+        if stuck:
+            # A worker that will not stop holds the graph in an unknowable
+            # state; dump stacks so the wedged frame is diagnosable.
+            reason = (
+                f"threaded drain: workers [{', '.join(stuck)}] still alive "
+                f"{self.JOIN_TIMEOUT}s after stop was requested"
+            )
+            dump_stacks(reason)
+            raise DrainAbortedError(reason, supervisor.failures)
         if errors:
-            raise errors[0]
+            # Satellite fix: aggregate *every* worker failure instead of
+            # re-raising errors[0] and silently dropping the rest.
+            others = [e for e in errors if not isinstance(e, DrainAbortedError)]
+            if others:
+                raise others[0]
+            raise supervisor.aggregate_abort("threaded drain") from errors[0]
+        if timed_out and not finished:
+            raise supervisor.drain_timeout("threaded drain")
         if not finished:
-            raise RuntimeStateError("threaded drain timed out")
+            raise RuntimeStateError("threaded drain stopped before the graph finished")
         self._result.elapsed += elapsed
         self._finalize_result()
         return self._result
@@ -311,7 +447,12 @@ class ThreadedExecutor(BaseExecutor):
         if not decision.skips_execution:
             task.state = TaskState.RUNNING
             task.executed_on = worker_id
-            task.run()
+            failure = self._run_supervised(task)
+            if failure is not None:
+                self._task_failed(
+                    task, graph, decision, *failure, worker=f"worker-{worker_id}"
+                )
+                return
             executed = True
         t_after_run = now()
         if executed:

@@ -99,13 +99,19 @@ class TaskDependenceGraph:
             self._grow(task_id)
         predecessors = self._tracker.dependences_for(task)
         pending = 0
+        doomed = False
         if predecessors:
             pred_ids: Optional[list[int]] = None
             successors = self._successors
             finished, memoized = TaskState.FINISHED, TaskState.MEMOIZED
+            failed, cancelled = TaskState.FAILED, TaskState.CANCELLED
             for pred in predecessors:
                 state = pred.state
-                if state is not finished and state is not memoized:
+                if state is failed or state is cancelled:
+                    # A dependence on quarantined work can never be satisfied:
+                    # the new task is born cancelled (no edge, no release).
+                    doomed = True
+                elif state is not finished and state is not memoized:
                     slab = successors[pred.task_id]
                     if slab is None:
                         slab = successors[pred.task_id] = []
@@ -117,6 +123,12 @@ class TaskDependenceGraph:
             self._edge_count += pending
             self._predecessor_count[task_id] = pending
         self._tasks[task_id] = task
+        if doomed:
+            task.state = TaskState.CANCELLED
+            self._finished_count += 1
+            if self.all_finished:
+                self._all_done.notify_all()
+            return False
         return pending == 0
 
     def add_task(self, task: Task) -> Task:
@@ -189,13 +201,49 @@ class TaskDependenceGraph:
                 counts = self._predecessor_count
                 for succ in successors:
                     counts[succ.task_id] -= 1
-                    if counts[succ.task_id] == 0:
+                    # A successor already terminal was CANCELLED by a failed
+                    # sibling predecessor (fail_task): keep its count honest
+                    # but never hand it to the scheduler.
+                    if counts[succ.task_id] == 0 and not succ.state.is_terminal:
                         released.append(succ)
                 if released:
                     self._mark_ready_batch(released)
             if self.all_finished:
                 self._all_done.notify_all()
             return released
+
+    def fail_task(self, task: Task) -> list[Task]:
+        """Quarantine: mark ``task`` FAILED and cancel its dependent subgraph.
+
+        The failed task and every transitive successor become terminal
+        (``FAILED`` / ``CANCELLED``) without being released to the scheduler,
+        so a drain completes with the independent tasks only.  Write versions
+        are *not* bumped — a failed task's outputs carry no committed value.
+        Returns the cancelled tasks (the failed task itself excluded).
+        """
+        with self._lock:
+            if task.task_id not in self._tasks:
+                raise RuntimeStateError(f"unknown task {task.label}")
+            if task.state.is_terminal:
+                raise RuntimeStateError(f"task {task.label} completed twice")
+            task.state = TaskState.FAILED
+            self._finished_count += 1
+            cancelled: list[Task] = []
+            stack = [task]
+            while stack:
+                successors = self._successors[stack.pop().task_id]
+                if not successors:
+                    continue
+                for succ in successors:
+                    if succ.state.is_terminal:
+                        continue
+                    succ.state = TaskState.CANCELLED
+                    self._finished_count += 1
+                    cancelled.append(succ)
+                    stack.append(succ)
+            if self.all_finished:
+                self._all_done.notify_all()
+            return cancelled
 
     # -- queries --------------------------------------------------------------
     @property

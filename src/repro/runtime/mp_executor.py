@@ -9,10 +9,12 @@ portions of a program (the ``ThreadedExecutor`` is GIL-bound, see DESIGN.md
   reference :class:`~repro.atm.engine.ATMEngine`.  Ready tasks are encoded
   as small descriptors (function by reference, array payloads as
   :class:`~repro.runtime.data.ArrayRef` handles into shared memory) and
-  batched onto one shared task queue (chunked dispatch,
-  ``RuntimeConfig.mp_chunk_size``).  Completions release successors through
-  the ordinary graph machinery.
-* **Workers** — pull chunks from the shared queue, rebuild each task over
+  batched round-robin onto *per-worker* task queues (chunked dispatch,
+  ``RuntimeConfig.mp_chunk_size``), so the parent always knows exactly
+  which worker holds which in-flight chunk — the bookkeeping that makes
+  crash recovery possible.  Completions release successors through the
+  ordinary graph machinery.
+* **Workers** — pull chunks from their private queue, rebuild each task over
   :mod:`multiprocessing.shared_memory` views
   (:class:`~repro.runtime.shm.WorkerArena`), run the full ATM protocol
   against a **per-worker engine** (lookup → execute/skip → commit), bump the
@@ -34,6 +36,23 @@ Worker processes persist across drains (barriers inside an application keep
 their warm THTs and keygen caches); :meth:`ProcessExecutor.close` — called
 automatically by :meth:`TaskRuntime.finish` and by a GC finalizer — shuts
 the pool down and unlinks every shared segment.
+
+**Supervision** (DESIGN.md §7): a worker that *dies* mid-drain (killed,
+segfault, ``os._exit``) is detected by ``Process.is_alive()`` polling,
+respawned in place, and its in-flight chunks are resubmitted round-robin to
+the surviving pool — mirroring the network backend's endpoint failover,
+including honest ``lost_deltas`` accounting for the un-merged engine delta
+that died with the worker.  A task whose repeated resubmissions keep
+killing workers is declared poison (``WorkerLostError``) and quarantined
+or aborted per ``RuntimeConfig.on_task_failure``.  When
+``task_timeout_s`` is set, dispatch degrades to one task per chunk and
+workers announce chunk starts, so a wedged task is identifiable: the
+parent kills the worker hosting it, respawns, and records a
+``TaskTimeoutError``.  Caveat: a crashed worker may have completed (and
+committed to shared memory) a prefix of its chunk that the parent never
+heard about; resubmission re-runs those tasks, which is only transparent
+for idempotent bodies — tasks with ``InOut`` accumulation semantics can
+observe a double apply after a crash.
 """
 
 from __future__ import annotations
@@ -50,12 +69,18 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.common.config import RuntimeConfig
-from repro.common.exceptions import RuntimeStateError
+from repro.common.exceptions import (
+    RuntimeStateError,
+    TaskFailedError,
+    TaskTimeoutError,
+    WorkerLostError,
+)
 from repro.runtime.atm_protocol import ATMAction, ATMDecision, EXECUTE_DECISION
 from repro.runtime.data import AccessMode, ArrayRef, DataAccess, RegionDescriptor
 from repro.runtime.executor import BaseExecutor, RunResult
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.shm import SharedBufferRegistry, SharedVersionTable, WorkerArena
+from repro.runtime.supervision import POLL_INTERVAL
 from repro.runtime.task import Task, TaskState, TaskType
 
 __all__ = ["ProcessExecutor", "make_engine_spec"]
@@ -238,14 +263,25 @@ def _run_descriptor(
 def _worker_main(
     worker_id: int,
     task_queue,
-    control_queue,
     result_queue,
     version_name: str,
     version_capacity: int,
     version_lock,
     engine_spec: Optional[_EngineSpec],
+    report_start: bool,
 ) -> None:
-    """Worker process entry point: pull chunks until the shutdown pill."""
+    """Worker process entry point: pull chunks until the shutdown pill.
+
+    Each worker owns a private task queue, so a sync pill can never be
+    stolen by a peer (which is what the pre-supervision control-queue
+    parking protocol existed to prevent).  A chunk answers with exactly one
+    ``("done", worker, chunk_id, results, failure)`` message: ``results``
+    lists the tasks that completed, ``failure`` is ``None`` or
+    ``(task_id, traceback)`` for the first task that raised — the parent
+    resubmits whatever the worker did not reach.  ``report_start`` (set
+    when ``task_timeout_s`` supervision is active) additionally announces
+    ``("start", worker, chunk_id)`` so the parent can age a running chunk.
+    """
     version_table = SharedVersionTable.attach(version_name, version_capacity, version_lock)
     arena = WorkerArena(version_table)
     engine = _build_worker_engine(engine_spec)
@@ -259,49 +295,39 @@ def _worker_main(
             if kind == "sync":
                 delta = engine.snapshot(reset=True) if engine is not None else None
                 result_queue.put(("sync", worker_id, delta))
-                # Park on the private control queue so this worker cannot
-                # swallow a second sync pill meant for a peer.
-                if control_queue.get() is None:
-                    break
                 continue
+            chunk_id = message[1]
+            if report_start:
+                result_queue.put(("start", worker_id, chunk_id))
             results: list[tuple[int, str, bool]] = []
-            failed = False
-            for desc in pickle.loads(message[1]):
+            failure: Optional[tuple[int, str]] = None
+            for desc in pickle.loads(message[2]):
                 try:
                     action, executed = _run_descriptor(
                         desc, arena, engine, task_types, worker_id
                     )
                 except BaseException:
-                    result_queue.put(
-                        ("error", worker_id, desc.task_id, traceback.format_exc())
-                    )
-                    failed = True
+                    failure = (desc.task_id, traceback.format_exc())
                     break
                 results.append((desc.task_id, action, executed))
-            if results and not failed:
-                result_queue.put(("done", worker_id, results))
+            result_queue.put(("done", worker_id, chunk_id, results, failure))
     finally:
         arena.close()
         version_table.close()
 
 
-def _cleanup_pool(processes, task_queue, control_queues, registry, version_table):
+def _cleanup_pool(processes, task_queues, registry, version_table):
     """Idempotent teardown shared by close() and the GC finalizer."""
-    for _ in processes:
+    for task_queue in task_queues:
         try:
             task_queue.put(None)
         except (OSError, ValueError):  # pragma: no cover - queue already closed
-            break
-    for control in control_queues:
-        try:
-            control.put(None)
-        except (OSError, ValueError):  # pragma: no cover
             pass
     deadline = time.perf_counter() + 5.0
     for process in processes:
         process.join(timeout=max(0.1, deadline - time.perf_counter()))
     for process in processes:
-        if process.is_alive():  # pragma: no cover - defensive
+        if process.is_alive():  # a wedged task never takes the pill
             process.terminate()
             process.join(timeout=1.0)
     registry.close()
@@ -311,12 +337,11 @@ def _cleanup_pool(processes, task_queue, control_queues, registry, version_table
 class ProcessExecutor(BaseExecutor):
     """Executor backed by worker processes over shared memory."""
 
-    #: Safety timeout for a single drain (seconds).
-    DRAIN_TIMEOUT = 300.0
-    #: Poll interval for completion messages (also the liveness-check cadence).
-    RESULT_POLL = 0.2
     #: Slots in the shared write-version table (one per owning base buffer).
     VERSION_TABLE_CAPACITY = 8192
+    #: Dispatch/queue latency allowance added to ``task_timeout_s`` before a
+    #: started chunk is declared wedged.
+    TIMEOUT_GRACE = 0.25
 
     def __init__(self, config: Optional[RuntimeConfig] = None, engine=None) -> None:
         super().__init__(config=config, engine=engine)
@@ -336,23 +361,33 @@ class ProcessExecutor(BaseExecutor):
             capacity=self.VERSION_TABLE_CAPACITY, context=self._ctx
         )
         self._registry = SharedBufferRegistry(self._version_table)
-        self._task_queue = self._ctx.Queue()
+        self._task_queues: list = []
         self._result_queue = self._ctx.Queue()
-        self._control_queues: list = []
         self._processes: list = []
         # Validates replicability early when an engine was passed; the spec
         # itself is recomputed at spawn time (see _ensure_workers).
         self._engine_spec = self._make_engine_spec(engine)
         self._closed = False
+        # Supervision bookkeeping (crash recovery, DESIGN.md §7).
+        self._report_start = self.config.task_timeout_s is not None
+        self._chunk_counter = 0
+        self._next_worker = 0
+        #: worker_id -> chunk_id -> descriptors the worker has not answered.
+        self._outstanding: dict[int, dict[int, list[_TaskDescriptor]]] = {}
+        #: worker_id -> (chunk_id, parent-side start timestamp).
+        self._started: dict[int, tuple[int, float]] = {}
+        #: task_id -> times the task was resubmitted after a worker loss.
+        self._crash_resubmits: dict[int, int] = {}
+        self._respawns = 0
+        self._lost_deltas = 0
         # Registered up front so even a never-drained executor releases its
-        # shared segments; _cleanup_pool sees later-spawned workers through
-        # the (mutated in place) process/control-queue lists.
+        # shared segments; _cleanup_pool sees later-spawned/respawned workers
+        # through the (mutated in place) process/queue lists.
         self._finalizer: Optional[weakref.finalize] = weakref.finalize(
             self,
             _cleanup_pool,
             self._processes,
-            self._task_queue,
-            self._control_queues,
+            self._task_queues,
             self._registry,
             self._version_table,
         )
@@ -361,6 +396,52 @@ class ProcessExecutor(BaseExecutor):
     @staticmethod
     def _make_engine_spec(engine) -> Optional[_EngineSpec]:
         return make_engine_spec(engine)
+
+    def _spawn_worker(self, worker_id: int, replace: bool = False) -> None:
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id,
+                task_queue,
+                self._result_queue,
+                self._version_table.name,
+                self._version_table.capacity,
+                self._version_table.lock,
+                self._engine_spec,
+                self._report_start,
+            ),
+            daemon=True,
+            name=f"repro-worker-{worker_id}",
+        )
+        process.start()
+        if replace:
+            self._task_queues[worker_id] = task_queue
+            self._processes[worker_id] = process
+        else:
+            self._task_queues.append(task_queue)
+            self._processes.append(process)
+        self._outstanding[worker_id] = {}
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        """Replace a dead (or wedged) worker with a fresh process in place."""
+        process = self._processes[worker_id]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        old_queue = self._task_queues[worker_id]
+        try:
+            old_queue.cancel_join_thread()
+            old_queue.close()
+        except (OSError, ValueError):  # pragma: no cover - already closed
+            pass
+        self._started.pop(worker_id, None)
+        self._spawn_worker(worker_id, replace=True)
+        self._respawns += 1
+        if self.engine is not None:
+            # The worker's engine delta since the last barrier died with it:
+            # those THT commits and stats are gone, not silently recovered.
+            self._lost_deltas += 1
 
     def _ensure_workers(self) -> None:
         if self._closed:
@@ -373,25 +454,7 @@ class ProcessExecutor(BaseExecutor):
         # workers without ATM.
         self._engine_spec = self._make_engine_spec(self.engine)
         for worker_id in range(self.num_workers):
-            control = self._ctx.SimpleQueue()
-            process = self._ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker_id,
-                    self._task_queue,
-                    control,
-                    self._result_queue,
-                    self._version_table.name,
-                    self._version_table.capacity,
-                    self._version_table.lock,
-                    self._engine_spec,
-                ),
-                daemon=True,
-                name=f"repro-worker-{worker_id}",
-            )
-            process.start()
-            self._control_queues.append(control)
-            self._processes.append(process)
+            self._spawn_worker(worker_id)
 
     def close(self) -> None:
         """Shut the worker pool down and release every shared segment."""
@@ -430,6 +493,104 @@ class ProcessExecutor(BaseExecutor):
             kwargs=_encode_payload(task.kwargs, self._registry),
         )
 
+    # -- dispatch ----------------------------------------------------------------
+    @property
+    def _chunk_cap(self) -> int:
+        """Effective dispatch chunk size (1 under per-task timeout, so the
+        wedged task is identifiable)."""
+        return 1 if self._report_start else self.chunk_size
+
+    def _dispatch_chunk(self, chunk: list[_TaskDescriptor]) -> None:
+        """Pickle one chunk and hand it to the next worker round-robin.
+
+        Pickle synchronously: mp.Queue serialises in a feeder thread, which
+        would swallow "unpicklable task function" errors and turn them into
+        a silent drain hang.  This way they raise here, with the offending
+        tasks named.
+        """
+        try:
+            payload = pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            labels = ", ".join(
+                f"{d.type_spec.name}#{d.task_id}" for d in chunk
+            )
+            raise RuntimeStateError(
+                f"cannot serialize task(s) [{labels}] for the process "
+                f"backend: {exc}; task functions and plain arguments must "
+                "be picklable (module-level functions, no lambdas/closures)"
+            ) from exc
+        chunk_id = self._chunk_counter
+        self._chunk_counter += 1
+        worker_id = self._next_worker
+        self._next_worker = (worker_id + 1) % len(self._processes)
+        self._outstanding[worker_id][chunk_id] = chunk
+        self._task_queues[worker_id].put(("tasks", chunk_id, payload))
+
+    def _reclaim_worker(
+        self, worker_id: int
+    ) -> tuple[list[_TaskDescriptor], list[_TaskDescriptor]]:
+        """Take back every descriptor a dead/wedged worker still holds.
+
+        Returns ``(executing, queued)``: the chunk the worker was plausibly
+        running when it died (the start-reported chunk when available, else
+        the oldest outstanding one) versus chunks merely sitting in its
+        queue.  Only the former is charged against the crash-resubmission
+        budget — a queued task never ran, so its loss says nothing about
+        the task itself.
+        """
+        lost = self._outstanding.get(worker_id, {})
+        self._outstanding[worker_id] = {}
+        if not lost:
+            return [], []
+        started = self._started.get(worker_id)
+        executing_id = started[0] if started and started[0] in lost else min(lost)
+        executing = lost.pop(executing_id)
+        queued: list[_TaskDescriptor] = []
+        for chunk_id in sorted(lost):
+            queued.extend(lost[chunk_id])
+        return executing, queued
+
+    def _requeue(self, descriptors: list[_TaskDescriptor]) -> None:
+        """Re-dispatch descriptors without charging any retry budget."""
+        cap = self._chunk_cap
+        for start in range(0, len(descriptors), cap):
+            self._dispatch_chunk(descriptors[start:start + cap])
+
+    def _resubmit_lost(
+        self,
+        descriptors: list[_TaskDescriptor],
+        inflight: dict[int, Task],
+        graph: TaskDependenceGraph,
+        reason: str,
+        worker_name: str,
+    ) -> None:
+        """Round-robin failover for chunks lost to a worker death.
+
+        A single loss only triggers resubmission; a task whose resubmissions
+        keep losing workers is poison and goes through terminal supervision
+        (``WorkerLostError``) instead of crashing the pool forever.
+        """
+        supervisor = self._supervisor
+        budget = max(1, supervisor.max_retries)
+        retry: list[_TaskDescriptor] = []
+        for desc in descriptors:
+            count = self._crash_resubmits.get(desc.task_id, 0) + 1
+            self._crash_resubmits[desc.task_id] = count
+            if count <= budget:
+                retry.append(desc)
+                continue
+            task = inflight.pop(desc.task_id)
+            self._task_failed(
+                task,
+                graph,
+                EXECUTE_DECISION,
+                WorkerLostError,
+                f"{reason} (task resubmitted {count - 1}x before)",
+                None,
+                worker=worker_name,
+            )
+        self._requeue(retry)
+
     # -- drain ---------------------------------------------------------------------
     def drain(self, graph: TaskDependenceGraph) -> RunResult:
         if self._closed:
@@ -438,33 +599,17 @@ class ProcessExecutor(BaseExecutor):
             self._finalize_result()
             return self._result
         self._ensure_workers()
+        supervisor = self._fresh_supervisor()
         refreshed = self._registry.copy_in()
         t0 = time.perf_counter()
-        deadline = t0 + self.DRAIN_TIMEOUT
+        deadline = supervisor.deadline()
         inflight: dict[int, Task] = {}
         written_slots: set[int] = set()
         dispatched = 0
-        chunks = 0
-
-        def flush(chunk: list[_TaskDescriptor]) -> None:
-            # Pickle synchronously: mp.Queue serialises in a feeder thread,
-            # which would swallow "unpicklable task function" errors and turn
-            # them into a silent drain hang.  This way they raise here, with
-            # the offending tasks named.
-            nonlocal chunks
-            try:
-                payload = pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
-            except Exception as exc:
-                labels = ", ".join(
-                    f"{d.type_spec.name}#{d.task_id}" for d in chunk
-                )
-                raise RuntimeStateError(
-                    f"cannot serialize task(s) [{labels}] for the process "
-                    f"backend: {exc}; task functions and plain arguments must "
-                    "be picklable (module-level functions, no lambdas/closures)"
-                ) from exc
-            self._task_queue.put(("tasks", payload))
-            chunks += 1
+        chunks_before = self._chunk_counter
+        # With a per-task timeout the offender must be identifiable, so
+        # dispatch degrades to one task per chunk (see module docstring).
+        chunk_cap = self._chunk_cap
 
         def dispatch_ready() -> None:
             nonlocal dispatched
@@ -481,11 +626,11 @@ class ProcessExecutor(BaseExecutor):
                         written_slots.add(
                             self._registry.entry_for_array(access.region.array).slot
                         )
-                if len(chunk) >= self.chunk_size:
-                    flush(chunk)
+                if len(chunk) >= chunk_cap:
+                    self._dispatch_chunk(chunk)
                     chunk = []
             if chunk:
-                flush(chunk)
+                self._dispatch_chunk(chunk)
 
         while not graph.all_finished:
             dispatch_ready()
@@ -498,18 +643,91 @@ class ProcessExecutor(BaseExecutor):
                 )
             message = self._next_result(deadline)
             kind = message[0]
-            if kind == "error":
-                _, worker_id, task_id, trace = message
-                raise RuntimeStateError(
-                    f"worker {worker_id} failed on task {task_id}:\n{trace}"
+            if kind == "crash":
+                _, worker_id, exitcode = message
+                executing, queued = self._reclaim_worker(worker_id)
+                worker_name = self._processes[worker_id].name
+                self._respawn_worker(worker_id)
+                self._resubmit_lost(
+                    executing,
+                    inflight,
+                    graph,
+                    f"worker {worker_name} died (exitcode {exitcode}) "
+                    "while the task was in flight",
+                    worker_name,
                 )
-            _, _worker_id, results = message
+                self._requeue(queued)
+                continue
+            if kind == "wedged":
+                _, worker_id, chunk_id, elapsed = message
+                wedged = self._outstanding[worker_id].pop(chunk_id, [])
+                # Whatever else sat in the dead worker's queue never started
+                # executing: requeue all of it without charging retry budget.
+                rest, queued = self._reclaim_worker(worker_id)
+                innocent = rest + queued
+                worker_name = self._processes[worker_id].name
+                self._respawn_worker(worker_id)
+                for desc in wedged:
+                    task = inflight.pop(desc.task_id)
+                    self._task_failed(
+                        task,
+                        graph,
+                        EXECUTE_DECISION,
+                        TaskTimeoutError,
+                        supervisor.timeout_reason(elapsed)
+                        + f"; worker {worker_name} was killed and respawned",
+                        None,
+                        worker=worker_name,
+                    )
+                self._requeue(innocent)
+                continue
+            if kind == "start":
+                _, worker_id, chunk_id = message
+                self._started[worker_id] = (chunk_id, time.perf_counter())
+                continue
+            if kind != "done":  # pragma: no cover - defensive
+                raise RuntimeStateError(f"unexpected worker message: {kind!r}")
+            _, worker_id, chunk_id, results, failure = message
+            descriptors = self._outstanding[worker_id].pop(chunk_id, None)
+            started = self._started.get(worker_id)
+            if started is not None and started[0] == chunk_id:
+                self._started.pop(worker_id, None)
+            if descriptors is None:
+                # Stale answer for a chunk this drain already reclaimed.
+                continue
             for task_id, action_value, executed in results:
                 task = inflight.pop(task_id)
                 decision = ATMDecision(action=ATMAction(action_value))
                 self._account(decision)
                 final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
                 graph.complete_task(task, final_state)
+            if failure is not None:
+                failed_id, trace = failure
+                done_ids = {r[0] for r in results}
+                remaining = [
+                    d for d in descriptors
+                    if d.task_id not in done_ids and d.task_id != failed_id
+                ]
+                task = inflight[failed_id]
+                backoff = supervisor.count_attempt(task)
+                if backoff is not None:
+                    time.sleep(backoff)
+                    remaining.extend(
+                        d for d in descriptors if d.task_id == failed_id
+                    )
+                else:
+                    inflight.pop(failed_id)
+                    self._task_failed(
+                        task,
+                        graph,
+                        EXECUTE_DECISION,
+                        TaskFailedError,
+                        f"worker {worker_id} failed on task {failed_id}:\n{trace}",
+                        None,
+                        worker=f"repro-worker-{worker_id}",
+                    )
+                for start in range(0, len(remaining), chunk_cap):
+                    self._dispatch_chunk(remaining[start:start + chunk_cap])
 
         elapsed = time.perf_counter() - t0
         copied_back = self._registry.copy_out(written_slots)
@@ -519,50 +737,62 @@ class ProcessExecutor(BaseExecutor):
         backend = self._result.extra.setdefault(
             "process_backend",
             {"workers": self.num_workers, "dispatched": 0, "chunks": 0,
-             "copyin_refreshed": 0, "copyout_buffers": 0},
+             "copyin_refreshed": 0, "copyout_buffers": 0,
+             "respawns": 0, "lost_deltas": 0},
         )
         backend["dispatched"] += dispatched
-        backend["chunks"] += chunks
+        backend["chunks"] += self._chunk_counter - chunks_before
         backend["copyin_refreshed"] += refreshed
         backend["copyout_buffers"] += copied_back
+        backend["respawns"] = self._respawns
+        backend["lost_deltas"] = self._lost_deltas
         self._finalize_result()
         return self._result
 
     def _next_result(self, deadline: float):
-        """Blocking result fetch with liveness checks and a hard deadline."""
+        """Blocking result fetch with liveness, wedge and deadline checks.
+
+        Returns the next worker message, or a synthesised ``("crash",
+        worker_id, exitcode)`` / ``("wedged", worker_id, chunk_id,
+        elapsed)`` message when supervision detects a dead worker or an
+        over-budget chunk.
+        """
         while True:
+            for worker_id, process in enumerate(self._processes):
+                if not process.is_alive():
+                    return ("crash", worker_id, process.exitcode)
+            if self._report_start:
+                now = time.perf_counter()
+                budget = self._supervisor.task_timeout_s + self.TIMEOUT_GRACE
+                for worker_id, (chunk_id, t_start) in self._started.items():
+                    if now - t_start > budget:
+                        return ("wedged", worker_id, chunk_id, now - t_start)
             try:
-                return self._result_queue.get(timeout=self.RESULT_POLL)
+                return self._result_queue.get(timeout=POLL_INTERVAL)
             except queue_module.Empty:
                 if time.perf_counter() > deadline:
-                    raise RuntimeStateError(
-                        f"process drain timed out after {self.DRAIN_TIMEOUT}s"
-                    ) from None
-                for process in self._processes:
-                    if not process.is_alive():
-                        raise RuntimeStateError(
-                            f"worker process {process.name} died "
-                            f"(exitcode {process.exitcode}) during drain"
-                        ) from None
+                    raise self._supervisor.drain_timeout("process drain") from None
 
     def _merge_worker_engines(self, deadline: float) -> None:
         """Barrier: collect one delta per worker and fold it into the engine."""
-        for _ in self._processes:
-            self._task_queue.put(("sync",))
+        for task_queue in self._task_queues:
+            task_queue.put(("sync",))
         synced: set[int] = set()
         while len(synced) < len(self._processes):
             message = self._next_result(deadline)
             kind = message[0]
-            if kind == "error":  # pragma: no cover - defensive
-                _, worker_id, task_id, trace = message
-                raise RuntimeStateError(
-                    f"worker {worker_id} failed during sync on task {task_id}:\n{trace}"
-                )
-            if kind != "sync":  # pragma: no cover - defensive
-                raise RuntimeStateError(f"unexpected message during sync: {kind!r}")
+            if kind == "crash":
+                # The worker died between its last chunk and the barrier:
+                # its delta is lost; the respawned replacement answers the
+                # re-sent sync with an empty one.
+                _, worker_id, _exitcode = message
+                self._respawn_worker(worker_id)
+                self._task_queues[worker_id].put(("sync",))
+                continue
+            if kind != "sync":
+                # Stale start/done chatter from a reclaimed chunk.
+                continue
             _, worker_id, delta = message
             if delta is not None:
                 self.engine.merge(delta)
             synced.add(worker_id)
-        for control in self._control_queues:
-            control.put("resume")

@@ -47,11 +47,15 @@ from repro.common.exceptions import (
     NetworkDrainError,
     NetworkTransportError,
     RuntimeStateError,
+    TaskFailedError,
+    TaskTimeoutError,
+    WorkerLostError,
 )
 from repro.runtime.atm_protocol import ATMAction, ATMDecision
 from repro.runtime.executor import BaseExecutor, RunResult
 from repro.runtime.graph import TaskDependenceGraph
 from repro.runtime.mp_executor import _TaskTypeSpec, make_engine_spec
+from repro.runtime.supervision import POLL_INTERVAL, dump_stacks
 from repro.runtime.net_transport import (
     SocketEndpoint,
     TRANSPORT_ERROR,
@@ -112,11 +116,9 @@ def _close_endpoints(endpoints: list) -> None:
 class NetworkExecutor(BaseExecutor):
     """Executor backed by workers behind a message transport."""
 
-    #: Safety deadline for a single drain (seconds); instances may override
-    #: ``self.drain_timeout`` (the fault tests bound every scenario with it).
-    DRAIN_TIMEOUT = 300.0
-    #: Poll interval for inbox messages (also the liveness-check cadence).
-    RESULT_POLL = 0.02
+    #: Dispatch/queue latency allowance added to the per-chunk task budget
+    #: before an endpoint is declared wedged (``task_timeout_s`` supervision).
+    TIMEOUT_GRACE = 0.25
 
     def __init__(
         self,
@@ -134,7 +136,10 @@ class NetworkExecutor(BaseExecutor):
         self.chunk_size = self.config.mp_chunk_size
         self.timeout = self.config.net_timeout_s
         self.max_retries = self.config.net_max_retries
-        self.drain_timeout = self.DRAIN_TIMEOUT
+        #: Per-drain wall-clock bound, from ``RuntimeConfig.drain_timeout_s``;
+        #: instances may override it (the fault tests bound every scenario).
+        self.drain_timeout = self.config.drain_timeout_s
+        self._current_graph: Optional[TaskDependenceGraph] = None
         if endpoints is None:
             workers = self.config.mp_workers or self.config.num_threads
             endpoints = parse_endpoints(self.config.net_endpoints, workers)
@@ -324,8 +329,44 @@ class NetworkExecutor(BaseExecutor):
             self._distribute(ready)
 
     # -- failure handling --------------------------------------------------------
-    def _fail_endpoint(self, endpoint: SocketEndpoint, reason: str) -> None:
-        """Mark an endpoint dead and resubmit its unfinished work elsewhere."""
+    def _task_terminal(self, task: Task, error, reason: str, worker: str) -> None:
+        """Terminal supervision for one task (network flavour).
+
+        Quarantine mode fails the task in the graph, cancels its dependent
+        subgraph and keeps draining; abort mode raises
+        :class:`NetworkDrainError` (the taxonomy's transport specialisation)
+        carrying the structured failure report.
+        """
+        supervisor = self._supervisor
+        graph = self._current_graph
+        self._inflight.pop(task.task_id, None)
+        if supervisor.quarantine and graph is not None:
+            cancelled = supervisor.quarantine_task(
+                graph, task, error, reason, worker=worker
+            )
+            self._result.tasks_failed += 1
+            self._result.tasks_cancelled += len(cancelled)
+            return
+        failure = supervisor.record_failure(task, error, reason, worker=worker)
+        raise NetworkDrainError(
+            f"drain aborted: task {failure.label} failed after "
+            f"{failure.attempts} attempt(s): {failure.reason}",
+            supervisor.failures,
+        )
+
+    def _fail_endpoint(
+        self,
+        endpoint: SocketEndpoint,
+        reason: str,
+        timeout_chunk: Optional[int] = None,
+    ) -> None:
+        """Mark an endpoint dead and resubmit its unfinished work elsewhere.
+
+        ``timeout_chunk`` names the chunk whose task budget expired when the
+        failure is a wedge detection — its tasks are reported as
+        ``TaskTimeoutError`` (rather than ``WorkerLostError``) once their
+        resubmission budget runs out.
+        """
         if endpoint.failed:
             return
         self._record_failure(endpoint, reason)
@@ -336,24 +377,31 @@ class NetworkExecutor(BaseExecutor):
             # Its engine replica held un-merged ATM state (reuse statistics,
             # never result bytes — unacknowledged tasks re-run elsewhere).
             self._stats["lost_deltas"] += 1
-        orphans: list[Task] = []
-        for chunk_state in state.outstanding.values():
+        orphans: list[tuple[Task, bool]] = []
+        for chunk_id, chunk_state in state.outstanding.items():
+            timed_out = chunk_id == timeout_chunk
             for task in chunk_state.tasks:
                 if task.task_id in self._inflight:
-                    orphans.append(task)
+                    orphans.append((task, timed_out))
         if not orphans:
             return
-        for task in orphans:
+        survivors: list[Task] = []
+        for task, timed_out in orphans:
             count = self._retries.get(task.task_id, 0) + 1
             self._retries[task.task_id] = count
-            if count > self.max_retries:
-                raise NetworkDrainError(
-                    f"task {task.label} exceeded net_max_retries="
-                    f"{self.max_retries} after endpoint failures: "
-                    + "; ".join(self._failures)
-                )
-        self._stats["resubmitted_tasks"] += len(orphans)
-        self._distribute(orphans)
+            if count <= self.max_retries:
+                survivors.append(task)
+                continue
+            self._task_terminal(
+                task,
+                TaskTimeoutError if timed_out else WorkerLostError,
+                f"exceeded net_max_retries={self.max_retries} after endpoint "
+                "failures: " + "; ".join(self._failures),
+                endpoint.name,
+            )
+        if survivors:
+            self._stats["resubmitted_tasks"] += len(survivors)
+            self._distribute(survivors)
 
     # -- drain -------------------------------------------------------------------
     def drain(self, graph: TaskDependenceGraph) -> RunResult:
@@ -363,18 +411,24 @@ class NetworkExecutor(BaseExecutor):
             self._finalize_result()
             return self._result
         self._ensure_started()
+        self._fresh_supervisor()
+        self._current_graph = graph
         t0 = time.perf_counter()
         deadline = t0 + self.drain_timeout
-        while not graph.all_finished:
-            self._dispatch_ready()
-            if not self._inflight:
-                if graph.all_finished:
-                    break
-                raise RuntimeStateError(
-                    "network executor starved: no ready tasks, none in flight, "
-                    "but the graph is not finished (undeclared dependence?)"
-                )
-            self._pump(graph, deadline)
+        try:
+            while not graph.all_finished:
+                self._dispatch_ready()
+                if not self._inflight:
+                    if graph.all_finished:
+                        break
+                    raise RuntimeStateError(
+                        "network executor starved: no ready tasks, none in "
+                        "flight, but the graph is not finished (undeclared "
+                        "dependence?)"
+                    )
+                self._pump(graph, deadline)
+        finally:
+            self._current_graph = None
         elapsed = time.perf_counter() - t0
         if self.engine is not None:
             self._sync_engines(deadline)
@@ -388,7 +442,7 @@ class NetworkExecutor(BaseExecutor):
     def _pump(self, graph: TaskDependenceGraph, deadline: float) -> None:
         """Handle one inbox message, or run the liveness checks on idle."""
         try:
-            endpoint, message = self._inbox.get(timeout=self.RESULT_POLL)
+            endpoint, message = self._inbox.get(timeout=POLL_INTERVAL)
         except queue_module.Empty:
             self._check_liveness(deadline)
             return
@@ -409,19 +463,63 @@ class NetworkExecutor(BaseExecutor):
             pass
         elif kind == "result":
             _, chunk_id, results = message
-            state.outstanding.pop(chunk_id, None)
+            chunk_state = state.outstanding.pop(chunk_id, None)
             for task_id, action_value, executed, writes in results:
                 self._complete_task(graph, task_id, action_value, executed, writes)
+            if chunk_state is not None and len(results) < len(chunk_state.tasks):
+                # Partial result: the worker hit a task error and reports the
+                # completed prefix first (so its writes are not lost), then
+                # the error frame.  Keep the unfinished remainder outstanding
+                # for the error handler to resubmit.
+                done_ids = {r[0] for r in results}
+                chunk_state.tasks = [
+                    t for t in chunk_state.tasks if t.task_id not in done_ids
+                ]
+                state.outstanding[chunk_id] = chunk_state
         elif kind == "error":
-            _, _chunk_id, task_id, trace = message
-            raise RuntimeStateError(
-                f"network worker {endpoint.name} failed on task "
-                f"{task_id}:\n{trace}"
-            )
+            _, chunk_id, task_id, trace = message
+            self._task_error(endpoint, state, chunk_id, task_id, trace)
         elif kind in ("hello_ack", "pong", "sync_result"):
             pass  # liveness already recorded; stray sync_result is stale
         else:
             self._fail_endpoint(endpoint, f"unexpected message kind {kind!r}")
+
+    def _task_error(self, endpoint, state, chunk_id, task_id, trace) -> None:
+        """A worker reported a task-body exception (worker itself is fine).
+
+        Supervision decides: bounded retry with backoff, then quarantine or
+        abort.  The rest of the chunk — dropped by the worker after the
+        failure — is redistributed either way.
+        """
+        chunk_state = state.outstanding.pop(chunk_id, None) if chunk_id else None
+        task = self._inflight.get(task_id) if task_id is not None else None
+        if task is None:
+            # A chunk-less error report (decode failure) or a stale/duplicate
+            # one: treat it as an endpoint failure like before.
+            self._fail_endpoint(
+                endpoint, f"worker error without a live task: {trace}"
+            )
+            return
+        remaining = (
+            [
+                t for t in chunk_state.tasks
+                if t.task_id != task_id and t.task_id in self._inflight
+            ]
+            if chunk_state is not None
+            else []
+        )
+        reason = (
+            f"network worker {endpoint.name} failed on task {task_id}:\n{trace}"
+        )
+        backoff = self._supervisor.count_attempt(task)
+        if backoff is not None:
+            time.sleep(backoff)
+            self._stats["resubmitted_tasks"] += 1
+            remaining.append(task)
+        else:
+            self._task_terminal(task, TaskFailedError, reason, endpoint.name)
+        if remaining:
+            self._distribute(remaining)
 
     def _complete_task(
         self, graph, task_id: int, action_value: str, executed: bool, writes
@@ -446,14 +544,39 @@ class NetworkExecutor(BaseExecutor):
     def _check_liveness(self, deadline: float) -> None:
         now = time.perf_counter()
         if now > deadline:
-            raise NetworkDrainError(
+            reason = (
                 f"network drain timed out after {self.drain_timeout}s with "
                 f"{len(self._inflight)} task(s) outstanding"
             )
+            dump_stacks(reason)
+            raise NetworkDrainError(reason, self._supervisor.failures)
+        task_budget = self._supervisor.task_timeout_s
         for endpoint in list(self._ep_state):
             state = self._ep_state.get(endpoint)
             if state is None or not state.outstanding:
                 continue
+            if task_budget is not None:
+                # Wedge supervision: a chunk that has been out longer than
+                # its tasks' combined budget means a task is stuck inside the
+                # worker (which still heartbeats).  Fail the endpoint with
+                # the chunk tagged so exhausted tasks surface as timeouts.
+                for chunk_state in list(state.outstanding.values()):
+                    age = now - chunk_state.sent_at
+                    budget = (
+                        task_budget * max(1, len(chunk_state.tasks))
+                        + self.TIMEOUT_GRACE
+                    )
+                    if age > budget:
+                        self._fail_endpoint(
+                            endpoint,
+                            f"chunk {chunk_state.chunk_id} exceeded its task "
+                            f"budget ({age:.2f}s > {budget:.2f}s with "
+                            f"task_timeout_s={task_budget}s)",
+                            timeout_chunk=chunk_state.chunk_id,
+                        )
+                        break
+                if endpoint.failed:
+                    continue
             silent_for = now - state.last_heard
             if silent_for > self.timeout:
                 self._fail_endpoint(
@@ -490,7 +613,7 @@ class NetworkExecutor(BaseExecutor):
                     self._fail_endpoint(endpoint, "sync timed out")
                 return
             try:
-                endpoint, message = self._inbox.get(timeout=self.RESULT_POLL)
+                endpoint, message = self._inbox.get(timeout=POLL_INTERVAL)
             except queue_module.Empty:
                 continue
             kind = message[0]

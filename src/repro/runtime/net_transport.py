@@ -404,6 +404,12 @@ def serve_connection(sock: socket.socket, worker_id: int = 0) -> None:
                 write_frame(sock, ("ack", chunk.chunk_id))
                 results, error = state.run_chunk(chunk)
                 if error is not None:
+                    # Completed-prefix results ship *before* the error frame
+                    # so their writes are never lost to a task that fails
+                    # later in the same chunk; the parent then resubmits
+                    # only the unfinished remainder.
+                    if results:
+                        write_frame(sock, ("result", chunk.chunk_id, results))
                     write_frame(sock, ("error", chunk.chunk_id, *error))
                 else:
                     write_frame(sock, ("result", chunk.chunk_id, results))

@@ -35,9 +35,21 @@ class TaskState(enum.Enum):
     MEMOIZED = "memoized"          # outputs provided by the THT, never executed
     WAITING_INFLIGHT = "waiting"   # outputs will be provided by an in-flight task
     FINISHED = "finished"
+    FAILED = "failed"              # exhausted its supervision budget (quarantined)
+    CANCELLED = "cancelled"        # a (transitive) predecessor failed
 
     @property
     def is_terminal(self) -> bool:
+        return self in (
+            TaskState.FINISHED,
+            TaskState.MEMOIZED,
+            TaskState.FAILED,
+            TaskState.CANCELLED,
+        )
+
+    @property
+    def is_success(self) -> bool:
+        """Terminal with usable outputs (finished or memoized)."""
         return self in (TaskState.FINISHED, TaskState.MEMOIZED)
 
 

@@ -331,6 +331,7 @@ class Session:
         )
         self._closed = False
         self._drained = False
+        self._drain_aborted = ""  # exception class name once a drain fails
         self._submitted = 0
         self._batch_buffer: Optional[list[Task]] = None
 
@@ -559,12 +560,26 @@ class Session:
                 "session already finished: wait_all() is not available after "
                 "finish()/close()"
             )
+        if self._drain_aborted:
+            # An aborted drain leaves unfinished tasks the scheduler will
+            # never hand out again; re-draining would starve or hang.  The
+            # partial counters in ``result`` stay readable; only close()
+            # (or leaving the ``with`` block) remains.
+            raise RuntimeStateError(
+                "a previous drain aborted "
+                f"({self._drain_aborted}); the session cannot drain again — "
+                "read Session.result for the failure records and close"
+            )
         try:
-            return self.executor.drain(self.graph)
+            result = self.executor.drain(self.graph)
+        except Exception as exc:
+            self._drain_aborted = type(exc).__name__
+            raise
         finally:
             # Even a failing drain ran the barrier: partial counters in
             # Session.result stay readable for error reporting.
             self._drained = True
+        return result
 
     def finish(self) -> RunResult:
         """Final barrier; afterwards the session rejects new submissions.
@@ -592,11 +607,12 @@ class Session:
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._closed:
             return
-        if exc_type is None:
+        if exc_type is None and not self._drain_aborted:
             self.finish()
         else:
-            # An exception is unwinding: do not try to drain, but never leak
-            # the worker pool / shared segments either.
+            # An exception is unwinding (or an earlier drain already aborted
+            # and the caller handled it): do not try to drain, but never
+            # leak the worker pool / shared segments either.
             self.close()
 
     # -- introspection ------------------------------------------------------------

@@ -8,7 +8,7 @@ import pytest
 from repro.atm.engine import ATMEngine
 from repro.atm.policy import StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
-from repro.common.exceptions import RuntimeStateError
+from repro.common.exceptions import DrainAbortedError, RuntimeStateError
 from repro.session import Session
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.executor import RunResult, SerialExecutor, ThreadedExecutor
@@ -123,8 +123,11 @@ class TestThreadedExecutor:
             raise ValueError("task failure")
 
         runtime.submit(boom, explode, accesses=[Out(np.zeros(1))])
-        with pytest.raises(ValueError):
+        with pytest.raises(DrainAbortedError, match="task failure") as excinfo:
             runtime.finish()
+        # The aggregated abort names the failed task and chains the original.
+        assert [f.label for f in excinfo.value.failures] == ["boom#0"]
+        assert isinstance(excinfo.value.__cause__.__cause__, ValueError)
 
 
 class TestSimulatedExecutor:

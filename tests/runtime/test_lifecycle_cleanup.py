@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro.common.config import RuntimeConfig
-from repro.common.exceptions import RuntimeStateError
+from repro.common.exceptions import DrainAbortedError, RuntimeStateError
 from repro.runtime.task import TaskType
 from repro.session import Out, Session
 
@@ -97,6 +97,61 @@ class TestProcessBackendCleanup:
             session.executor.drain(session.graph)
 
 
+class TestProcessBackendFailureCleanup:
+    """Supervision failure paths must release resources like the happy path."""
+
+    def test_aborted_drain_leaves_no_segments_or_children(self):
+        import multiprocessing
+
+        from repro.testing.faults import fault_session, raising_body, submit_one
+
+        before = live_segments()
+        with pytest.raises(DrainAbortedError):
+            with fault_session("process") as session:
+                submit_square(session)
+                submit_one(session, raising_body, label="abort-leak")
+                session.wait_all()
+        assert live_segments() - before == set(), (
+            "aborted process drain leaked shared-memory segments"
+        )
+        for child in multiprocessing.active_children():
+            child.join(timeout=5.0)
+        assert not any(
+            c.name.startswith("repro-worker") and c.is_alive()
+            for c in multiprocessing.active_children()
+        ), "aborted process drain leaked live worker processes"
+
+    def test_crashed_worker_quarantine_drain_leaves_no_segments_or_children(self):
+        import multiprocessing
+
+        from repro.testing.faults import (
+            fault_session,
+            kill_worker_body,
+            submit_one,
+        )
+
+        before = live_segments()
+        with fault_session(
+            "process", on_task_failure="quarantine", allow_worker_kill=True,
+            chunk_size=1,
+        ) as session:
+            submit_one(session, kill_worker_body, label="crash-leak")
+            outs = submit_square(session)
+            result = session.wait_all()
+        assert result.tasks_failed == 1
+        assert result.failures[0].error == "WorkerLostError"
+        assert all(o[2] == 4.0 for o in outs)
+        assert live_segments() - before == set(), (
+            "crash-recovery drain leaked shared-memory segments"
+        )
+        for child in multiprocessing.active_children():
+            child.join(timeout=5.0)
+        assert not any(
+            c.name.startswith("repro-worker") and c.is_alive()
+            for c in multiprocessing.active_children()
+        ), "crash-recovery drain leaked live worker processes"
+
+
 class TestSerialErrorPath:
     def test_failing_task_still_closes_session(self):
         closed = []
@@ -109,10 +164,13 @@ class TestSerialErrorPath:
         def explode():
             raise ValueError("task failure")
 
-        with pytest.raises(ValueError, match="task failure"):
+        # Supervision wraps the abort in DrainAbortedError; the original
+        # ValueError stays visible in the message and as __cause__.
+        with pytest.raises(DrainAbortedError, match="ValueError: task failure") as excinfo:
             with Probe() as session:
                 session.submit(TaskType("boom"), explode,
                                accesses=[Out(np.zeros(1))])
+        assert isinstance(excinfo.value.__cause__, ValueError)
         # finish() raised during drain but still marked the session closed
         assert not closed  # finish() path, not close(): exception came from drain
         with pytest.raises(RuntimeStateError):

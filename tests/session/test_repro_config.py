@@ -68,6 +68,11 @@ runtime_configs = st.builds(
     ),
     net_timeout_s=st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
     net_max_retries=st.integers(min_value=0, max_value=16),
+    task_timeout_s=st.none() | st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
+    task_max_retries=st.integers(min_value=0, max_value=16),
+    retry_backoff_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    drain_timeout_s=st.floats(min_value=0.001, max_value=3600.0, allow_nan=False),
+    on_task_failure=st.sampled_from(["abort", "quarantine"]),
 )
 
 atm_configs = st.builds(
@@ -160,6 +165,47 @@ class TestFileRoundTrip:
         path.write_text('{"runtime": {"threads": 2}}')
         with pytest.raises(ConfigurationError, match=r"runtime\.threads"):
             ReproConfig.from_file(path)
+
+
+class TestSupervisionKnobs:
+    """The PR-6 supervision knobs flow through every exchange format."""
+
+    KNOBS = {
+        "task_timeout_s": 1.5,
+        "task_max_retries": 3,
+        "retry_backoff_s": 0.25,
+        "drain_timeout_s": 42.0,
+        "on_task_failure": "quarantine",
+    }
+
+    @pytest.mark.parametrize("suffix", ["toml", "json"])
+    def test_file_round_trip(self, tmp_path, suffix):
+        cfg = ReproConfig.from_dict({"runtime": dict(self.KNOBS)})
+        path = tmp_path / f"run.{suffix}"
+        cfg.to_file(path)
+        loaded = ReproConfig.from_file(path)
+        for name, value in self.KNOBS.items():
+            assert getattr(loaded.runtime, name) == value
+
+    def test_env_round_trip_including_disabled_timeout(self):
+        cfg = ReproConfig.from_dict({"runtime": dict(self.KNOBS)})
+        assert ReproConfig.from_env(cfg.to_env()) == cfg
+        # task_timeout_s=None (the default: no per-task budget) survives too.
+        assert ReproConfig.from_env(ReproConfig().to_env()) == ReproConfig()
+        parsed = ReproConfig.from_env({"REPRO_RUNTIME_TASK_TIMEOUT_S": "none"})
+        assert parsed.runtime.task_timeout_s is None
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError, match="task_timeout_s"):
+            RuntimeConfig(task_timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="task_max_retries"):
+            RuntimeConfig(task_max_retries=-1)
+        with pytest.raises(ConfigurationError, match="retry_backoff_s"):
+            RuntimeConfig(retry_backoff_s=-0.1)
+        with pytest.raises(ConfigurationError, match="drain_timeout_s"):
+            RuntimeConfig(drain_timeout_s=0.0)
+        with pytest.raises(ConfigurationError, match="on_task_failure"):
+            RuntimeConfig(on_task_failure="retry-forever")
 
 
 class TestEnv:

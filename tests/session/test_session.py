@@ -10,6 +10,7 @@ from repro.atm.policy import DynamicATMPolicy, FixedPPolicy, StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig
 from repro.common.exceptions import (
     ConfigurationError,
+    DrainAbortedError,
     RuntimeStateError,
     TaskDefinitionError,
 )
@@ -381,9 +382,31 @@ class TestLifecycle:
             raise ValueError("task failure")
 
         s.submit(TaskType("explode"), explode, accesses=[Out(np.zeros(1))])
-        with pytest.raises(ValueError, match="task failure"):
+        with pytest.raises(DrainAbortedError, match="task failure") as excinfo:
             s.finish()
+        # The original body exception rides along as the cause.
+        assert isinstance(excinfo.value.__cause__, ValueError)
         assert s.result.tasks_completed == 0  # partial counters, no raise
+        assert [f.label for f in s.result.failures] == ["explode#0"]
+
+    def test_caught_abort_poisons_session_but_exits_cleanly(self):
+        # A caller that catches the DrainAbortedError inside the ``with``
+        # block must not trigger a second drain on the poisoned graph at
+        # __exit__ (serial would starve, threaded would hang until the
+        # drain deadline): the session closes quietly instead, and an
+        # explicit re-drain raises a named error pointing at the abort.
+        with Session() as s:
+
+            def explode():
+                raise ValueError("task failure")
+
+            s.submit(TaskType("explode"), explode, accesses=[Out(np.zeros(1))])
+            with pytest.raises(DrainAbortedError):
+                s.wait_all()
+            with pytest.raises(RuntimeStateError, match="previous drain aborted"):
+                s.wait_all()
+        assert s._closed  # __exit__ closed without re-draining
+        assert [f.label for f in s.result.failures] == ["explode#0"]
 
 
 class TestRegistries:
