@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures examples net-loopback net-soak fault-matrix ci
+.PHONY: test bench bench-check bench-quick figures examples net-loopback net-residency net-soak fault-matrix ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -42,6 +42,15 @@ net-loopback:
 		tests/runtime/test_net_faults.py \
 		tests/runtime/test_net_wire_property.py -p no:cacheprovider -x -q
 
+# Residency protocol tier: the hypothesis interleaving property + unit
+# rules for the per-endpoint stale-bytes caches, the parity matrix (which
+# runs the network backend residency-on and -off) and the failover
+# scenarios that exercise residency invalidation.
+net-residency:
+	$(PYTHON) -m pytest tests/runtime/test_residency_property.py \
+		tests/runtime/test_executor_parity.py \
+		tests/runtime/test_net_faults.py -p no:cacheprovider -x -q
+
 net-soak:
 	$(PYTHON) -m pytest -m net_soak -q
 
@@ -58,6 +67,7 @@ ci:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) examples
 	$(MAKE) net-loopback
+	$(MAKE) net-residency
 	$(MAKE) net-soak
 	$(MAKE) fault-matrix
 	$(PYTHON) scripts/bench.py --check

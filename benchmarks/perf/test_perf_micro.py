@@ -60,7 +60,7 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 5
+        assert report["schema_version"] == 6
         assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
         # Schema 5: the fault-recovery micro (kill + respawn mid-drain).
@@ -68,6 +68,12 @@ class TestReport:
         assert recovery["respawns"] >= 1
         assert recovery["healthy_wall_s"] > 0
         assert recovery["faulty_wall_s"] > 0
+        # Schema 6: the stale-bytes residency suite, gated on dispatch overhead.
+        residency = report["net_residency"]
+        assert residency["rows"], "net-residency rows missing"
+        for row in residency["rows"]:
+            assert row["checksum_matches_serial"], row
+        assert residency["improvement_dispatch_overhead"] > 0
         assert len(report["endtoend"]) == 6
         backend = report["process_backend"]
         assert backend["rows"], "process-backend comparison rows missing"

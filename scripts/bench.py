@@ -58,6 +58,9 @@ PROFILE_SUITES = {
     "submission": ("repro.perf.micro", "bench_submission", {}),
     "simulator": ("repro.perf.micro", "bench_simulator_drain", {}),
     "endtoend": ("repro.perf.endtoend", "bench_end_to_end", {}),
+    "net_residency": (
+        "repro.perf.net_residency", "bench_net_residency", {"rounds": 1}
+    ),
 }
 
 
@@ -86,8 +89,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=6,
-        help="report generation number (default 6)",
+        "--bench-id", type=int, default=7,
+        help="report generation number (default 7)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -176,6 +179,25 @@ def main(argv: list[str] | None = None) -> int:
               f"p/t speedup {row['speedup_process_vs_threaded']:.2f}x  "
               f"net disp {row['net_dispatch_overhead_ms_per_task']:.3f}ms/task"
               f"{limited}")
+
+    residency = report.get("net_residency", {})
+    for row in residency.get("rows", []):
+        flag = "on " if row["residency"] else "off"
+        print(f"  net-residency {row['transport']:8} {flag} "
+              f"wall {row['wall_s']:7.3f}s  "
+              f"disp {row['net_dispatch_overhead_ms_per_task']:7.3f}ms/task  "
+              f"payload {row['payload_bytes'] / 1e6:8.2f}MB  "
+              f"hits {row['residency_hits']:4}  "
+              f"{'OK' if row['checksum_matches_serial'] else 'CHECKSUM MISMATCH'}")
+    if residency:
+        tcp_note = "" if residency.get("tcp") else (
+            " (tcp rows skipped: hardware-limited host)"
+        )
+        print(f"  net-residency improvement: "
+              f"{residency['improvement_dispatch_overhead']}x dispatch overhead "
+              f"(threshold "
+              f"{report['checks']['thresholds']['net_residency_improvement']}x), "
+              f"{residency['payload_reduction']}x payload{tcp_note}")
 
     failures = check_report(report)
     baseline_path = (

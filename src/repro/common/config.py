@@ -215,6 +215,22 @@ class RuntimeConfig:
         How many times one task may be resubmitted after endpoint failures
         before the drain raises
         :class:`~repro.common.exceptions.NetworkDrainError`.
+    net_timeout_grace_s:
+        Dispatch/queue latency allowance the network backend adds to the
+        per-chunk task budget before an endpoint is declared wedged
+        (``task_timeout_s`` supervision).  Replaces the hardcoded
+        ``NetworkExecutor.TIMEOUT_GRACE`` class constant.
+    net_residency:
+        Enable per-endpoint data residency on the network backend
+        (DESIGN.md §4.5): workers keep generation-tagged caches of shipped
+        buffer spans keyed on :mod:`repro.runtime.data` write-versions, the
+        parent tracks them in a :class:`repro.runtime.residency.
+        ResidencyTable`, and dispatch ships bytes only for *stale* spans —
+        plus routes ready chunks to the endpoint already holding their
+        input bytes.  Off restores the ship-everything round-robin backend.
+    net_residency_budget_bytes:
+        Per-endpoint byte budget of the residency table; least-recently
+        used entries beyond it are evicted (and invalidated on the worker).
     task_timeout_s:
         Per-task wall-clock budget enforced by the supervision layer
         (DESIGN.md §7).  ``None`` (default) disables per-task timeouts.  The
@@ -257,6 +273,9 @@ class RuntimeConfig:
     net_endpoints: str = "loopback"
     net_timeout_s: float = 30.0
     net_max_retries: int = 2
+    net_timeout_grace_s: float = 0.25
+    net_residency: bool = True
+    net_residency_budget_bytes: int = 256 << 20
     task_timeout_s: Optional[float] = None
     task_max_retries: int = 0
     retry_backoff_s: float = 0.05
@@ -295,6 +314,15 @@ class RuntimeConfig:
         if self.net_max_retries < 0:
             raise ConfigurationError(
                 f"net_max_retries must be >= 0, got {self.net_max_retries}"
+            )
+        if self.net_timeout_grace_s < 0:
+            raise ConfigurationError(
+                f"net_timeout_grace_s must be >= 0, got {self.net_timeout_grace_s}"
+            )
+        if self.net_residency_budget_bytes < 1:
+            raise ConfigurationError(
+                f"net_residency_budget_bytes must be >= 1, "
+                f"got {self.net_residency_budget_bytes}"
             )
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:
             raise ConfigurationError(

@@ -1,14 +1,16 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 5 — adds the
-``micro.fault_recovery`` suite; version 4 added the ``network_s`` /
-``net_dispatch_overhead_ms_per_task`` columns to the backend rows):
+perf trajectory.  Schema (``schema_version`` 6 — adds the ``net_residency``
+suite: the iterative stale-bytes dispatch benchmark for the network
+backend; version 5 added ``micro.fault_recovery``; version 4 added the
+``network_s`` / ``net_dispatch_overhead_ms_per_task`` columns to the
+backend rows):
 
 .. code-block:: text
 
     {
-      "schema_version": 5,
+      "schema_version": 6,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
       "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
@@ -29,6 +31,13 @@ perf trajectory.  Schema (``schema_version`` 5 — adds the
         "rows": [ {benchmark, *_s walls, speedup_process_vs_threaded,
                     dispatch_overhead_ms_per_task,
                     net_dispatch_overhead_ms_per_task, checksums_match}, ... ]
+      },
+      "net_residency": {     # iterative stale-bytes dispatch benchmark
+        "blocks": ..., "block_kib": ..., "drains": ..., "tcp": ...,
+        "rows": [ {transport, residency, wall_s,
+                    net_dispatch_overhead_ms_per_task, payload_bytes,
+                    residency_hits, checksum_matches_serial}, ... ],
+        "improvement_dispatch_overhead": ..., "payload_reduction": ...
       },
       "checks": {"keygen_speedup_multi_input": <float>,
                   "shuffle_memory_reduction": <float>,
@@ -77,11 +86,13 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-#: Schema 5 adds ``micro.fault_recovery`` (kill-1-of-N-workers recovery on
-#: the process backend) and the baseline comparison gates
-#: (:func:`compare_to_baseline`: e2e checksums bit-identical, submission
-#: throughput within tolerance of the previous BENCH report).
-SCHEMA_VERSION = 5
+#: Schema 6 adds the ``net_residency`` suite (iterative stale-bytes
+#: dispatch on the network backend) and its gated off/on dispatch-overhead
+#: improvement.  Schema 5 added ``micro.fault_recovery`` and the baseline
+#: comparison gates (:func:`compare_to_baseline`: e2e checksums
+#: bit-identical, submission throughput within tolerance of the previous
+#: BENCH report).
+SCHEMA_VERSION = 6
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
@@ -95,6 +106,11 @@ THRESHOLDS = {
     "keygen_speedup_multi_input": 3.0,
     "shuffle_memory_reduction": 5.0,
     "submission_tasks_per_sec": 30_000.0,
+    # Iterative network workload: residency must cut the per-task dispatch
+    # overhead at least in half versus ship-everything (the byte volume is
+    # what dominates, so the ratio is stable even on loaded runners; the
+    # suite runs full-size in quick mode too — it costs ~2 s).
+    "net_residency_improvement": 2.0,
 }
 
 
@@ -109,6 +125,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         bench_submission,
         bench_tht_probe,
     )
+    from repro.perf.net_residency import bench_net_residency
     from repro.perf.process_backend import bench_process_backend
 
     # Quick mode trims rounds, never input scale: small inputs make the cold
@@ -134,6 +151,9 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         )
     else:
         process_backend = bench_process_backend(workers=4)
+    # Full-size in quick mode too: the gated off/on ratio needs the byte
+    # volume to dominate wall noise, and the suite only costs ~2 s.
+    net_residency = bench_net_residency(rounds=1 if quick else 2)
     # Gate the *slowest* submission path: the per-task dependences micro and
     # every submission-suite shape (per-task and batched, including the
     # Session facade), so a regression confined to the batch protocol or the
@@ -146,6 +166,10 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "keygen_speedup_multi_input": keygen["headline_speedup"],
         "shuffle_memory_reduction": keygen["shuffle_memory"]["reduction"],
         "submission_tasks_per_sec": round(submission_floor, 1),
+        "net_residency_improvement": net_residency[
+            "improvement_dispatch_overhead"
+        ],
+        "net_residency_payload_reduction": net_residency["payload_reduction"],
         "thresholds": dict(THRESHOLDS),
     }
     checks["passed"] = all(
@@ -164,6 +188,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "micro": micro,
         "endtoend": endtoend,
         "process_backend": process_backend,
+        "net_residency": net_residency,
         "checks": checks,
     }
 

@@ -68,6 +68,13 @@ class RunResult:
     (exhausted supervision budget), ``tasks_cancelled`` (dependent subgraph)
     and the structured per-failure report in ``failures`` (a list of
     :class:`repro.runtime.supervision.TaskFailure`).
+
+    ``lost_deltas`` counts worker ATM-engine deltas that could not be
+    merged because their worker/endpoint died before the drain barrier
+    (process and network backends).  Lost deltas cost reuse *statistics*,
+    never correctness — the dead worker's unacknowledged tasks were re-run
+    elsewhere — but a nonzero count means reported reuse rates undercount,
+    so the draining executor also emits a ``RuntimeWarning``.
     """
 
     elapsed: float = 0.0
@@ -79,6 +86,7 @@ class RunResult:
     tasks_trained: int = 0
     tasks_failed: int = 0
     tasks_cancelled: int = 0
+    lost_deltas: int = 0
     failures: list = field(default_factory=list)
     trace: Optional[TraceRecorder] = None
     extra: dict = field(default_factory=dict)
@@ -95,6 +103,7 @@ class RunResult:
         self.tasks_trained += other.tasks_trained
         self.tasks_failed += other.tasks_failed
         self.tasks_cancelled += other.tasks_cancelled
+        self.lost_deltas += other.lost_deltas
         if other.failures is not self.failures:
             self.failures.extend(other.failures)
         if other.trace is not None:

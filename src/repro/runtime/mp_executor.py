@@ -62,6 +62,7 @@ import pickle
 import queue as queue_module
 import time
 import traceback
+import warnings
 import weakref
 from dataclasses import dataclass
 from typing import Any, Optional
@@ -442,6 +443,14 @@ class ProcessExecutor(BaseExecutor):
             # The worker's engine delta since the last barrier died with it:
             # those THT commits and stats are gone, not silently recovered.
             self._lost_deltas += 1
+            self._result.lost_deltas += 1
+            warnings.warn(
+                f"worker {worker_id} died holding an un-merged ATM engine "
+                f"delta; reuse statistics undercount "
+                f"(RunResult.lost_deltas={self._result.lost_deltas})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _ensure_workers(self) -> None:
         if self._closed:

@@ -13,9 +13,20 @@ executor otherwise mirrors deliberately:
 
 * **No shared memory.**  Every dispatch serializes the byte spans a chunk
   touches; every completion carries the written bytes home, applied to the
-  parent arrays *before* successors are released.  Dispatch cost is
-  therefore proportional to touched data, not O(1) handles — see
-  PERFORMANCE.md ("Network backend dispatch overhead").
+  parent arrays *before* successors are released.  With per-endpoint data
+  residency (``RuntimeConfig.net_residency``, default on) dispatch cost is
+  proportional to *stale* data rather than touched data: the parent's
+  :class:`~repro.runtime.residency.ResidencyTable` tracks which buffer
+  spans each endpoint already holds at which write-version, chunks ship
+  ``data=None`` cached references for current spans, and the placement
+  layer routes ready chunks to the endpoint holding the most of their
+  input bytes (same-key twins are additionally pinned to one endpoint by
+  an ATM-key affinity route, which makes cross-chunk reuse deterministic).
+  Cold buffers fall back to a round-robin cursor over the *fixed* endpoint
+  pool — the cursor skips failed endpoints instead of re-indexing a
+  shrunken live list, so placement stays deterministic across failover.
+  See PERFORMANCE.md ("Network backend dispatch overhead" and
+  "Stale-bytes dispatch").
 * **Failure is expected.**  Per-chunk acks prove receipt, heartbeat
   timeouts (``RuntimeConfig.net_timeout_s``) detect dead or wedged
   endpoints, and the unfinished chunks of a failed endpoint are resubmitted
@@ -30,14 +41,17 @@ executor otherwise mirrors deliberately:
 * **ATM deltas are best-effort.**  Live endpoints merge their engine deltas
   at the drain barrier exactly like process workers; a dead endpoint's
   unmerged delta is lost (reuse statistics, never correctness — its
-  unacknowledged tasks were re-run elsewhere).
+  unacknowledged tasks were re-run elsewhere).  Every loss is surfaced on
+  ``RunResult.lost_deltas`` and warned about, never silent.
 """
 
 from __future__ import annotations
 
 import queue as queue_module
 import time
+import warnings
 import weakref
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 import numpy as np
@@ -63,11 +77,15 @@ from repro.runtime.net_transport import (
 )
 from repro.runtime.net_wire import (
     ChunkEncoder,
+    NetBuffer,
     NetChunk,
     NetTaskDescriptor,
     PROTOCOL_VERSION,
     encode_frame,
+    span_bytes,
 )
+from repro.runtime.data import _base_buffer, region_versions
+from repro.runtime.residency import ResidencyTable
 from repro.runtime.task import Task, TaskState
 
 __all__ = ["NetworkExecutor"]
@@ -76,13 +94,24 @@ __all__ = ["NetworkExecutor"]
 class _ChunkState:
     """Parent-side record of one dispatched, not-yet-completed chunk."""
 
-    __slots__ = ("chunk_id", "tasks", "endpoint", "sent_at")
+    __slots__ = ("chunk_id", "tasks", "endpoint", "sent_at", "dispatch_gens")
 
-    def __init__(self, chunk_id: int, tasks: list[Task], endpoint: SocketEndpoint) -> None:
+    def __init__(
+        self,
+        chunk_id: int,
+        tasks: list[Task],
+        endpoint: SocketEndpoint,
+        dispatch_gens: Optional[dict[int, int]] = None,
+    ) -> None:
         self.chunk_id = chunk_id
         self.tasks = tasks
         self.endpoint = endpoint
         self.sent_at = time.perf_counter()
+        #: ``buffer_id -> residency generation`` at dispatch time; the
+        #: write-commit path upgrades the writer's residency entry only if
+        #: its generation is still the one this chunk was encoded against
+        #: (a re-shipped backing does not contain the in-flight writes).
+        self.dispatch_gens = dispatch_gens or {}
 
 
 class _EndpointState:
@@ -116,9 +145,9 @@ def _close_endpoints(endpoints: list) -> None:
 class NetworkExecutor(BaseExecutor):
     """Executor backed by workers behind a message transport."""
 
-    #: Dispatch/queue latency allowance added to the per-chunk task budget
-    #: before an endpoint is declared wedged (``task_timeout_s`` supervision).
-    TIMEOUT_GRACE = 0.25
+    #: Bound on the ATM-key -> endpoint affinity routes kept for twin
+    #: placement (LRU); a placement hint only, never correctness.
+    MAX_KEY_ROUTES = 4096
 
     def __init__(
         self,
@@ -136,6 +165,10 @@ class NetworkExecutor(BaseExecutor):
         self.chunk_size = self.config.mp_chunk_size
         self.timeout = self.config.net_timeout_s
         self.max_retries = self.config.net_max_retries
+        #: Dispatch/queue latency allowance added to the per-chunk task
+        #: budget before an endpoint is declared wedged (``task_timeout_s``
+        #: supervision); ``RuntimeConfig.net_timeout_grace_s``.
+        self.timeout_grace = self.config.net_timeout_grace_s
         #: Per-drain wall-clock bound, from ``RuntimeConfig.drain_timeout_s``;
         #: instances may override it (the fault tests bound every scenario).
         self.drain_timeout = self.config.drain_timeout_s
@@ -156,6 +189,19 @@ class NetworkExecutor(BaseExecutor):
         self._failures: list[str] = []
         self._started = False
         self._closed = False
+        #: Per-endpoint residency table (None = residency off: every chunk
+        #: ships its full union spans and placement is pure round-robin).
+        self._residency: Optional[ResidencyTable] = (
+            ResidencyTable(self.config.net_residency_budget_bytes)
+            if self.config.net_residency
+            else None
+        )
+        #: ATM-key -> endpoint affinity (LRU-bounded): same-key twins that
+        #: land in different chunks are routed to one endpoint so the
+        #: second finds the first's THT commit without waiting for the
+        #: drain-barrier delta merge.
+        self._key_routes: "OrderedDict[tuple, SocketEndpoint]" = OrderedDict()
+        self._chunks_by_endpoint: dict[str, int] = {}
         self._stats = {
             "endpoints": len(self._endpoints),
             "dispatched": 0,
@@ -164,7 +210,11 @@ class NetworkExecutor(BaseExecutor):
             "payload_bytes": 0,
             "failed_endpoints": self._failures,
             "lost_deltas": 0,
+            "chunks_by_endpoint": self._chunks_by_endpoint,
         }
+        if self._residency is not None:
+            # Aliases the table's live counters, like failed_endpoints.
+            self._stats["residency"] = self._residency.stats
         self._finalizer: Optional[weakref.finalize] = weakref.finalize(
             self, _close_endpoints, self._endpoints
         )
@@ -184,7 +234,14 @@ class NetworkExecutor(BaseExecutor):
         # executor *after* __init__, and a spec snapshotted there would
         # silently run the workers without ATM.
         engine_spec = make_engine_spec(self.engine)
-        hello = ("hello", {"protocol": PROTOCOL_VERSION, "engine": engine_spec})
+        hello = (
+            "hello",
+            {
+                "protocol": PROTOCOL_VERSION,
+                "engine": engine_spec,
+                "residency": self._residency is not None,
+            },
+        )
         for endpoint in self._endpoints:
             try:
                 endpoint.start(self._inbox)
@@ -251,44 +308,89 @@ class NetworkExecutor(BaseExecutor):
             kwargs=encoder.encode_payload(task.kwargs),
         )
 
-    def _encode_chunk(self, tasks: list[Task]) -> tuple[NetChunk, bytes]:
-        """Build and frame one chunk; serialization errors raise here, named.
+    def _encode_chunk(
+        self, tasks: list[Task], endpoint: SocketEndpoint
+    ) -> tuple[NetChunk, bytes, dict[int, int], list[tuple[int, int]]]:
+        """Build and frame one chunk for ``endpoint``.
+
+        Returns ``(chunk, framed_bytes, dispatch_gens, evicted)`` where
+        ``dispatch_gens`` maps buffer ids to the residency generation the
+        chunk was encoded against and ``evicted`` lists budget-evicted
+        ``(buffer_id, generation)`` pairs to forward as an ``invalidate``.
 
         Framing happens synchronously (not in the receiver/sender machinery)
         for the same reason the process backend pickles synchronously: an
         unpicklable task function must raise with the offending tasks named,
-        not wedge the drain.
+        not wedge the drain.  With residency on, each touched buffer ships
+        either its full union span (stale or unknown on this endpoint) or a
+        ``data=None`` cached reference (current) — the stale-bytes dispatch.
         """
         encoder = ChunkEncoder()
         descriptors = tuple(self._describe_task(task, encoder) for task in tasks)
         self._chunk_counter += 1
+        dispatch_gens: dict[int, int] = {}
+        evicted: list[tuple[int, int]] = []
+        residency = self._residency
+        if residency is None:
+            buffers = encoder.buffers()
+        else:
+            protect_tick = residency.next_tick()
+            encoded: list[NetBuffer] = []
+            for buffer_id, (base, start, end) in encoder.spans().items():
+                version = region_versions.version_of(base)
+                entry = residency.lookup(endpoint, buffer_id, start, end, version)
+                if entry is not None:
+                    encoded.append(
+                        NetBuffer(buffer_id, entry.start, None, entry.generation)
+                    )
+                    dispatch_gens[buffer_id] = entry.generation
+                else:
+                    generation = residency.record(
+                        endpoint, buffer_id, start, end, version
+                    )
+                    encoded.append(
+                        NetBuffer(
+                            buffer_id, start, span_bytes(base, start, end), generation
+                        )
+                    )
+                    dispatch_gens[buffer_id] = generation
+            evicted = residency.evict_over_budget(endpoint, protect_tick)
+            buffers = tuple(encoded)
         chunk = NetChunk(
             chunk_id=self._chunk_counter,
-            buffers=encoder.buffers(),
+            buffers=buffers,
             tasks=descriptors,
         )
         try:
             raw = encode_frame(("chunk", chunk))
         except Exception as exc:
+            if residency is not None:
+                # The recorded entries describe bytes that never shipped.
+                residency.drop_endpoint(endpoint)
             labels = ", ".join(f"{t.task_type.name}#{t.task_id}" for t in tasks)
             raise RuntimeStateError(
                 f"cannot serialize task(s) [{labels}] for the network "
                 f"backend: {exc}; task functions and plain arguments must "
                 "be picklable (module-level functions, no lambdas/closures)"
             ) from exc
-        return chunk, raw
+        return chunk, raw, dispatch_gens, evicted
 
     # -- dispatch ----------------------------------------------------------------
     def _send_chunk(self, tasks: list[Task], endpoint: SocketEndpoint) -> bool:
         """Dispatch one chunk; returns False when the endpoint failed."""
-        chunk, raw = self._encode_chunk(tasks)
+        chunk, raw, dispatch_gens, evicted = self._encode_chunk(tasks, endpoint)
         try:
             endpoint.send_bytes(raw)
+            if evicted:
+                # After the chunk: socket FIFO order guarantees the worker
+                # processes every dispatch referencing the evicted
+                # generations before it drops them.
+                endpoint.send(("invalidate", tuple(evicted)))
         except NetworkTransportError as exc:
             self._fail_endpoint(endpoint, str(exc))
             return False
         state = self._ep_state[endpoint]
-        chunk_state = _ChunkState(chunk.chunk_id, tasks, endpoint)
+        chunk_state = _ChunkState(chunk.chunk_id, tasks, endpoint, dispatch_gens)
         state.outstanding[chunk.chunk_id] = chunk_state
         # Dispatch restarts the endpoint's silence clock: an endpoint that
         # was legitimately idle (nothing outstanding) must get a full
@@ -297,10 +399,13 @@ class NetworkExecutor(BaseExecutor):
         state.work_since_sync = True
         self._stats["chunks"] += 1
         self._stats["payload_bytes"] += len(raw)
+        self._chunks_by_endpoint[endpoint.name] = (
+            self._chunks_by_endpoint.get(endpoint.name, 0) + 1
+        )
         return True
 
     def _distribute(self, tasks: list[Task]) -> None:
-        """Chunk ``tasks`` round-robin over the live endpoints."""
+        """Chunk ``tasks`` over the live endpoints (locality-aware)."""
         pending = list(tasks)
         while pending:
             live = self._live_endpoints()
@@ -309,12 +414,125 @@ class NetworkExecutor(BaseExecutor):
                     "all network endpoints failed: " + "; ".join(self._failures)
                 )
             chunk_tasks = pending[: self.chunk_size]
-            endpoint = live[self._rr_cursor % len(live)]
-            self._rr_cursor += 1
+            endpoint = self._place(chunk_tasks, live)
             if self._send_chunk(chunk_tasks, endpoint):
                 pending = pending[self.chunk_size:]
             # On failure the loop retries the same tasks on the next live
             # endpoint (the failed one is excluded by _live_endpoints).
+
+    # -- placement ---------------------------------------------------------------
+    def _place(
+        self, tasks: list[Task], live: list[SocketEndpoint]
+    ) -> SocketEndpoint:
+        """Pick the endpoint for one ready chunk.
+
+        Scoring order (first hit wins), pure locality by design so twin
+        routing stays deterministic under completion/dispatch races:
+
+        1. **Key affinity** — most-voted live endpoint among the recorded
+           routes of the chunk's ATM keys (ties break in pool order);
+        2. **Residency bytes** — the endpoint whose current residency
+           entries cover the most of the chunk's touched bytes;
+        3. **Cold round-robin** — a cursor over the *fixed* endpoint pool
+           that skips failed endpoints, so failover never re-biases
+           placement of unrelated work.
+        """
+        keys: tuple = ()
+        endpoint: Optional[SocketEndpoint] = None
+        if len(live) == 1:
+            endpoint = live[0]
+        else:
+            keys = self._route_keys(tasks)
+            if keys:
+                votes: dict[SocketEndpoint, int] = {}
+                for key in keys:
+                    routed = self._key_routes.get(key)
+                    if routed is not None and not routed.failed:
+                        votes[routed] = votes.get(routed, 0) + 1
+                if votes:
+                    endpoint = max(live, key=lambda ep: votes.get(ep, 0))
+                    if votes.get(endpoint, 0) == 0:  # pragma: no cover
+                        endpoint = None
+            if endpoint is None and self._residency is not None:
+                wanted = self._wanted_spans(tasks)
+                best_score = 0
+                for candidate in live:
+                    score = self._residency.score(candidate, wanted)
+                    if score > best_score:
+                        endpoint, best_score = candidate, score
+            if endpoint is None:
+                endpoint = self._next_cold_endpoint(live)
+        for key in keys:
+            self._key_routes[key] = endpoint
+            self._key_routes.move_to_end(key)
+        while len(self._key_routes) > self.MAX_KEY_ROUTES:
+            self._key_routes.popitem(last=False)
+        return endpoint
+
+    def _route_keys(self, tasks: list[Task]) -> tuple:
+        """ATM keys of the chunk's memoizable tasks (affinity routing).
+
+        Computed with the parent engine's own key generator and sampling
+        policy — identical inputs at identical policy state yield identical
+        keys, which is exactly the twin-coalescing property placement
+        needs.  The keygen's version-token caches make repeats cheap.
+        Routing is a hint: any failure to compute a key just skips it.
+        """
+        engine = self.engine
+        if engine is None or self._residency is None:
+            return ()
+        keygen = getattr(engine, "keygen", None)
+        policy = getattr(engine, "policy", None)
+        if keygen is None:
+            return ()
+        keys = []
+        for task in tasks:
+            if not task.task_type.atm_eligible:
+                continue
+            try:
+                p = policy.sampling_fraction(task) if policy is not None else 1.0
+                key = keygen.compute(task, p)
+            except Exception:  # pragma: no cover - defensive
+                continue
+            keys.append((task.task_type.name, key.value, key.p))
+        return tuple(keys)
+
+    def _wanted_spans(self, tasks: list[Task]) -> list[tuple[int, int, int, int]]:
+        """Merged ``(buffer_id, start, end, version)`` spans a chunk touches."""
+        spans: dict[int, list[int]] = {}
+        for task in tasks:
+            for access in task.accesses:
+                region = access.region
+                start, end = region.byte_interval
+                merged = spans.get(region.base_id)
+                if merged is None:
+                    base = _base_buffer(region.array)
+                    spans[region.base_id] = [
+                        start, end, region_versions.version_of(base)
+                    ]
+                else:
+                    merged[0] = min(merged[0], start)
+                    merged[1] = max(merged[1], end)
+        return [
+            (buffer_id, start, end, version)
+            for buffer_id, (start, end, version) in spans.items()
+        ]
+
+    def _next_cold_endpoint(self, live: list[SocketEndpoint]) -> SocketEndpoint:
+        """Advance the round-robin cursor over the *fixed* endpoint pool.
+
+        Indexing the full pool and skipping failed endpoints keeps the
+        assignment sequence of the survivors stable when an endpoint dies
+        mid-drain; the old ``live[cursor % len(live)]`` re-biased toward
+        low-index endpoints every time ``live`` shrank.
+        """
+        pool = self._endpoints
+        for _ in range(len(pool)):
+            endpoint = pool[self._rr_cursor % len(pool)]
+            self._rr_cursor += 1
+            if not endpoint.failed:
+                return endpoint
+        return live[0]  # pragma: no cover - live is non-empty by contract
 
     def _dispatch_ready(self) -> None:
         ready: list[Task] = []
@@ -370,6 +588,14 @@ class NetworkExecutor(BaseExecutor):
         if endpoint.failed:
             return
         self._record_failure(endpoint, reason)
+        # Residency died with the endpoint's process/connection: forget its
+        # entries (resubmission to survivors must re-ship full bytes) and
+        # the affinity routes pointing at it.
+        if self._residency is not None:
+            self._residency.drop_endpoint(endpoint)
+        if self._key_routes:
+            for key in [k for k, ep in self._key_routes.items() if ep is endpoint]:
+                del self._key_routes[key]
         state = self._ep_state.pop(endpoint, None)
         if state is None:
             return
@@ -377,6 +603,14 @@ class NetworkExecutor(BaseExecutor):
             # Its engine replica held un-merged ATM state (reuse statistics,
             # never result bytes — unacknowledged tasks re-run elsewhere).
             self._stats["lost_deltas"] += 1
+            self._result.lost_deltas += 1
+            warnings.warn(
+                f"endpoint {endpoint.name} died holding an un-merged ATM "
+                f"engine delta; reuse statistics undercount "
+                f"(RunResult.lost_deltas={self._result.lost_deltas})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         orphans: list[tuple[Task, bool]] = []
         for chunk_id, chunk_state in state.outstanding.items():
             timed_out = chunk_id == timeout_chunk
@@ -465,7 +699,10 @@ class NetworkExecutor(BaseExecutor):
             _, chunk_id, results = message
             chunk_state = state.outstanding.pop(chunk_id, None)
             for task_id, action_value, executed, writes in results:
-                self._complete_task(graph, task_id, action_value, executed, writes)
+                self._complete_task(
+                    graph, task_id, action_value, executed, writes,
+                    endpoint, chunk_state,
+                )
             if chunk_state is not None and len(results) < len(chunk_state.tasks):
                 # Partial result: the worker hit a task error and reports the
                 # completed prefix first (so its writes are not lost), then
@@ -492,6 +729,12 @@ class NetworkExecutor(BaseExecutor):
         failure — is redistributed either way.
         """
         chunk_state = state.outstanding.pop(chunk_id, None) if chunk_id else None
+        # The failed task body may have partially written into cached
+        # backings before raising; the worker is alive but its residency can
+        # no longer be trusted.  Forget it all — the next dispatch re-ships
+        # full bytes, which replaces the worker-side backings.
+        if self._residency is not None:
+            self._residency.drop_endpoint(endpoint)
         task = self._inflight.get(task_id) if task_id is not None else None
         if task is None:
             # A chunk-less error report (decode failure) or a stale/duplicate
@@ -522,7 +765,14 @@ class NetworkExecutor(BaseExecutor):
             self._distribute(remaining)
 
     def _complete_task(
-        self, graph, task_id: int, action_value: str, executed: bool, writes
+        self,
+        graph,
+        task_id: int,
+        action_value: str,
+        executed: bool,
+        writes,
+        endpoint: Optional[SocketEndpoint] = None,
+        chunk_state: Optional[_ChunkState] = None,
     ) -> None:
         task = self._inflight.pop(task_id, None)
         if task is None:
@@ -536,10 +786,54 @@ class NetworkExecutor(BaseExecutor):
             np.copyto(
                 region.array, received.reshape(region.array.shape), casting="no"
             )
+        residency = self._residency
+        # Snapshot the pre-commit versions: complete_task bumps every write
+        # region, and the table's upgrade rule needs both sides of the bump.
+        prev_versions = (
+            [task.accesses[index].region.version for index, _ in writes]
+            if residency is not None and writes
+            else []
+        )
         decision = ATMDecision(action=ATMAction(action_value))
         self._account(decision)
         final_state = TaskState.FINISHED if executed else TaskState.MEMOIZED
         graph.complete_task(task, final_state)
+        if residency is not None and writes:
+            self._commit_residency(task, writes, prev_versions, endpoint, chunk_state)
+
+    def _commit_residency(
+        self, task, writes, prev_versions, endpoint, chunk_state
+    ) -> None:
+        """Apply one task's committed writes to the residency table.
+
+        The writer's own entry upgrades to the new version (its backing
+        holds exactly the bytes it shipped home) when its generation still
+        matches the dispatch-time one; overlapping entries elsewhere drop
+        and get a worker-side ``invalidate`` so cache accounting follows.
+        """
+        invalidations: dict[SocketEndpoint, list[tuple[int, int]]] = {}
+        dispatch_gens = chunk_state.dispatch_gens if chunk_state is not None else {}
+        for (index, _), prev_version in zip(writes, prev_versions):
+            region = task.accesses[index].region
+            dropped = self._residency.note_write(
+                endpoint,
+                dispatch_gens.get(region.base_id),
+                region.base_id,
+                region.byte_interval,
+                prev_version,
+                region.version,
+            )
+            for drop_endpoint, buffer_id, generation in dropped:
+                invalidations.setdefault(drop_endpoint, []).append(
+                    (buffer_id, generation)
+                )
+        for drop_endpoint, pairs in invalidations.items():
+            if drop_endpoint.failed:
+                continue
+            try:
+                drop_endpoint.send(("invalidate", tuple(pairs)))
+            except NetworkTransportError as exc:
+                self._fail_endpoint(drop_endpoint, f"invalidate failed: {exc}")
 
     def _check_liveness(self, deadline: float) -> None:
         now = time.perf_counter()
@@ -564,7 +858,7 @@ class NetworkExecutor(BaseExecutor):
                     age = now - chunk_state.sent_at
                     budget = (
                         task_budget * max(1, len(chunk_state.tasks))
-                        + self.TIMEOUT_GRACE
+                        + self.timeout_grace
                     )
                     if age > budget:
                         self._fail_endpoint(

@@ -56,6 +56,7 @@ from repro.runtime.net_wire import (
     read_frame,
     write_frame,
 )
+from repro.runtime.residency import WorkerBufferCache
 from repro.runtime.task import Task, TaskState, TaskType
 
 __all__ = [
@@ -298,6 +299,9 @@ class NetWorkerState:
         self.worker_id = worker_id
         self.engine = None
         self.task_types: dict[str, TaskType] = {}
+        #: Residency store for shipped backings; created at hello time when
+        #: the client runs the residency protocol (``None`` = ship-always).
+        self.buffer_cache: Optional[WorkerBufferCache] = None
 
     # -- handshake ---------------------------------------------------------------
     def hello(self, info: dict) -> dict:
@@ -308,6 +312,7 @@ class NetWorkerState:
                 f"worker speaks {PROTOCOL_VERSION}"
             )
         self.engine = _build_worker_engine(info.get("engine"))
+        self.buffer_cache = WorkerBufferCache() if info.get("residency") else None
         return {"protocol": PROTOCOL_VERSION, "worker_id": self.worker_id}
 
     # -- execution ---------------------------------------------------------------
@@ -317,7 +322,7 @@ class NetWorkerState:
         ``error`` is ``(task_id, traceback_str)`` when a task body raised —
         the rest of the chunk is dropped, mirroring the process backend.
         """
-        arena = ChunkArena(chunk.buffers)
+        arena = ChunkArena(chunk.buffers, cache=self.buffer_cache)
         results: list[tuple] = []
         for desc in chunk.tasks:
             try:
@@ -413,6 +418,12 @@ def serve_connection(sock: socket.socket, worker_id: int = 0) -> None:
                     write_frame(sock, ("error", chunk.chunk_id, *error))
                 else:
                     write_frame(sock, ("result", chunk.chunk_id, results))
+            elif kind == "invalidate":
+                # Residency eviction/invalidations: no reply — the socket's
+                # FIFO order guarantees every chunk referencing the dropped
+                # generations was already processed above.
+                if state.buffer_cache is not None:
+                    state.buffer_cache.invalidate(message[1])
             elif kind == "sync":
                 write_frame(sock, ("sync_result", state.sync()))
             elif kind == "ping":

@@ -27,7 +27,10 @@ Message vocabulary (client = the :class:`NetworkExecutor` parent, worker =
 a loopback thread or a ``scripts/net_worker.py`` daemon)::
 
     client -> worker : ("hello", info)           handshake; carries the engine spec
+                                                 and the residency flag
                        ("chunk", NetChunk)       one batch of task descriptors
+                       ("invalidate", pairs)     drop cached buffers named by
+                                                 (buffer_id, generation) pairs
                        ("sync",)                 request an ATM engine delta
                        ("ping",)                 heartbeat probe
                        ("shutdown",)             orderly connection teardown
@@ -42,6 +45,15 @@ Each entry of ``results`` is ``(task_id, action_value, executed, writes)``
 where ``writes`` is a list of ``(access_index, bytes)`` pairs holding the
 raw little bytes of every written region — the copy-back path that replaces
 the process backend's shared-segment ``copy_out``.
+
+Since protocol version 2 a :class:`NetBuffer` has a second, *cached* form
+(``data is None``): the span is not on the wire, the worker must already
+hold a backing for the buffer id under the named ``generation`` in its
+:class:`~repro.runtime.residency.WorkerBufferCache` (populated by earlier
+full ships).  A generation the worker does not hold is a protocol
+violation — the worker raises :class:`WireProtocolError` and the parent
+fails the endpoint and re-runs its work, so a residency bug degrades to a
+resubmission instead of silently wrong bytes.
 """
 
 from __future__ import annotations
@@ -67,6 +79,7 @@ __all__ = [
     "NetChunk",
     "ChunkEncoder",
     "ChunkArena",
+    "span_bytes",
     "encode_frame",
     "decode_frame",
     "read_frame",
@@ -74,7 +87,9 @@ __all__ = [
 ]
 
 #: Bumped on any incompatible message/frame change; checked at hello time.
-PROTOCOL_VERSION = 1
+#: Version 2: cached (``data=None``) :class:`NetBuffer` form, generation
+#: tags and the ``invalidate`` message of the residency protocol.
+PROTOCOL_VERSION = 2
 
 MAGIC = b"ATMW"
 _HEADER = struct.Struct("!4sII")
@@ -184,11 +199,21 @@ class NetArrayRef:
 
 @dataclass(frozen=True)
 class NetBuffer:
-    """Raw bytes of the span one chunk touches within one base buffer."""
+    """Raw bytes of the span one chunk touches within one base buffer.
+
+    Two forms since protocol version 2:
+
+    * ``data`` is bytes — a *full ship*; the receiver materialises a fresh
+      backing and (when residency is on) stores it under ``generation``;
+    * ``data`` is ``None`` — a *cached* dispatch; the receiver must already
+      hold generation ``generation`` of this buffer id and serves the chunk
+      from that backing without any span bytes on the wire.
+    """
 
     buffer_id: int
     start: int
-    data: bytes
+    data: Optional[bytes]
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -272,20 +297,39 @@ class ChunkEncoder:
             return {k: self.encode_payload(v) for k, v in value.items()}
         return value
 
+    def spans(self) -> dict[int, tuple[np.ndarray, int, int]]:
+        """Touched union spans as ``buffer_id -> (base, start, end)``.
+
+        The residency-aware dispatch path iterates this to decide, per
+        buffer and per endpoint, between a full ship and a cached dispatch.
+        """
+        return {
+            buffer_id: (base, start, end)
+            for buffer_id, (base, start, end) in self._spans.items()
+        }
+
     def buffers(self) -> tuple[NetBuffer, ...]:
         """Materialise the union span bytes of every touched base buffer."""
-        out = []
-        for buffer_id, (base, start, end) in self._spans.items():
-            if not base.flags.c_contiguous:
-                raise RuntimeStateError(
-                    "the network backend requires C-contiguous owning "
-                    f"buffers; got a non-contiguous owner of dtype "
-                    f"{base.dtype} shape {base.shape}"
-                )
-            flat = base.reshape(-1).view(np.uint8) if base.size else base
-            data = flat[start:end].tobytes() if base.size else b""
-            out.append(NetBuffer(buffer_id=buffer_id, start=start, data=data))
-        return tuple(out)
+        return tuple(
+            NetBuffer(
+                buffer_id=buffer_id, start=start, data=span_bytes(base, start, end)
+            )
+            for buffer_id, (base, start, end) in self._spans.items()
+        )
+
+
+def span_bytes(base: np.ndarray, start: int, end: int) -> bytes:
+    """Copy the ``[start, end)`` byte span out of an owning base buffer."""
+    if not base.flags.c_contiguous:
+        raise RuntimeStateError(
+            "the network backend requires C-contiguous owning "
+            f"buffers; got a non-contiguous owner of dtype "
+            f"{base.dtype} shape {base.shape}"
+        )
+    if not base.size:
+        return b""
+    flat = base.reshape(-1).view(np.uint8)
+    return flat[start:end].tobytes()
 
 
 class ChunkArena:
@@ -295,13 +339,35 @@ class ChunkArena:
     ``uint8`` ndarray; views built over it share that object as their
     ``.base``, preserving region identity (aliasing *and* the keygen-cache
     keying) within the chunk.
+
+    A ``cache`` (:class:`~repro.runtime.residency.WorkerBufferCache`) makes
+    the arena residency-aware: full ships are stored into it under their
+    generation tag, and cached (``data=None``) buffers are resolved from
+    it — a missing or generation-mismatched entry raises
+    :class:`WireProtocolError` (the parent's table said the worker holds
+    bytes it does not; failing loudly triggers resubmission elsewhere).
     """
 
-    def __init__(self, buffers: tuple[NetBuffer, ...]) -> None:
+    def __init__(
+        self, buffers: tuple[NetBuffer, ...], cache=None
+    ) -> None:
         self._bases: dict[int, tuple[np.ndarray, int]] = {}
         for buf in buffers:
+            if buf.data is None:
+                entry = cache.get(buf.buffer_id) if cache is not None else None
+                if entry is None or entry.generation != buf.generation:
+                    held = "nothing" if entry is None else f"g{entry.generation}"
+                    raise WireProtocolError(
+                        f"cached dispatch references buffer "
+                        f"{buf.buffer_id:#x} at generation {buf.generation} "
+                        f"but this worker holds {held}"
+                    )
+                self._bases[buf.buffer_id] = (entry.backing, entry.start)
+                continue
             backing = np.frombuffer(bytearray(buf.data), dtype=np.uint8)
             self._bases[buf.buffer_id] = (backing, buf.start)
+            if cache is not None:
+                cache.put(buf.buffer_id, backing, buf.start, buf.generation)
         self._views: dict[tuple, np.ndarray] = {}
         self._regions: dict[tuple, DataRegion] = {}
 

@@ -1,8 +1,10 @@
 """Cross-executor parity matrix.
 
 Every registered benchmark runs at ``WorkloadScale.TINY`` on the Serial,
-Threaded, Process and Network (loopback transport) executors — with ATM off
-and with exact Static ATM — and must produce:
+Threaded, Process and Network (loopback transport) executors — the network
+backend both with per-endpoint data residency (its default) and with
+residency off (``net_residency=False``, the ship-everything protocol) —
+with ATM off and with exact Static ATM — and must produce:
 
 * **bit-identical output checksums** (the dependence graph plus exact
   ``p = 1.0`` keys make memoized copy-outs indistinguishable from
@@ -28,17 +30,21 @@ from repro.atm.engine import ATMEngine
 from repro.atm.policy import StaticATMPolicy
 from repro.common.config import ATMConfig, RuntimeConfig
 from repro.common.hashing import hash_bytes
-from repro.session import Session
+from repro.session import ReproConfig, Session
 from repro.runtime.simulator import SimulatedExecutor
 
-EXECUTORS = ("serial", "threaded", "process", "network")
+#: ``network-nores`` is the network backend with ``net_residency=False``:
+#: the pre-residency ship-everything protocol must stay bit-compatible.
+EXECUTORS = ("serial", "threaded", "process", "network", "network-nores")
 MODES = ("none", "static")
 #: Worker counts: serial is single by construction; threaded exercises the
 #: shared-engine locking; the process pool stays at 2 to bound spawn cost;
 #: the network backend runs 2 loopback workers (the default
 #: ``net_endpoints="loopback"`` spawns ``cores`` in-process workers speaking
 #: the real wire protocol over socketpairs).
-WORKERS = {"serial": 1, "threaded": 4, "process": 2, "network": 2}
+WORKERS = {
+    "serial": 1, "threaded": 4, "process": 2, "network": 2, "network-nores": 2,
+}
 
 
 def output_checksum(app) -> str:
@@ -53,10 +59,28 @@ def make_engine(mode: str, workers: int):
     return ATMEngine(config=config, policy=StaticATMPolicy(config), num_threads=workers)
 
 
-def run_tiny(benchmark: str, executor: str, mode: str):
-    workers = WORKERS[executor]
+def run_network_nores(app, workers: int, engine):
+    """Run ``app`` on the network backend with residency switched off."""
+    cfg = ReproConfig().with_overrides(
+        runtime={
+            "executor": "network",
+            "num_threads": workers,
+            "net_residency": False,
+        }
+    )
+    with Session(cfg, engine=engine) as session:
+        app.run(session)
+    return session.result
+
+
+def run_tiny(benchmark: str, executor: str, mode: str, workers: int | None = None):
+    workers = WORKERS[executor] if workers is None else workers
     app = make_benchmark(benchmark, scale="tiny")
-    result = app.run_on(executor, cores=workers, engine=make_engine(mode, workers))
+    engine = make_engine(mode, workers)
+    if executor == "network-nores":
+        result = run_network_nores(app, workers, engine)
+    else:
+        result = app.run_on(executor, cores=workers, engine=engine)
     return output_checksum(app), result
 
 
@@ -87,9 +111,8 @@ def test_executor_parity(bench_name, mode):
             # engine and keeps the direct check.  (The multi-worker case is
             # pinned deterministically by test_two_worker_reuse_is_
             # deterministic_within_one_chunk below.)
-            if executor in ("process", "network"):
-                app = make_benchmark(bench_name, scale="tiny")
-                solo = app.run_on(executor, cores=1, engine=make_engine(mode, 1))
+            if executor in ("process", "network", "network-nores"):
+                _, solo = run_tiny(bench_name, executor, mode, workers=1)
                 assert solo.tasks_memoized > 0, (
                     f"{bench_name}: single-worker {executor}/static found no "
                     f"reuse although serial memoized "
@@ -105,49 +128,78 @@ def test_executor_parity(bench_name, mode):
             assert result.tasks_executed == result.tasks_completed
 
 
-@pytest.mark.parametrize("executor", ["process", "network"])
-def test_two_worker_reuse_is_deterministic_within_one_chunk(executor):
-    """Pin of the PR 3 note: reuse at 2 workers is a scheduling race *only*
-    across chunks.
-
-    Whether a repeated task meets its twin's THT entry depends on which
-    worker's table saw the twin — racy when twins land in different chunks.
-    Within one chunk it is deterministic: chunked dispatch sends the whole
-    ready set to a single worker, whose serial execution guarantees every
-    later twin hits the first one's commit.  Submitting all twins into one
-    ready set with ``mp_chunk_size`` >= the set size therefore must memoize
-    exactly ``n - 1`` tasks on a 2-worker pool, every run — the
-    deterministic baseline the network fault matrix builds on.
-    """
-    from repro.session import ReproConfig, Session
+def _run_twins(executor: str, chunk_size: int, n: int = 8):
+    """Submit ``n`` same-key twin tasks (distinct buffers, identical
+    content) on a 2-worker pool and return the drain result + sinks."""
     from tests.conftest import SQUARE_TYPE, square_body
     from repro.runtime.data import In, Out
 
-    n = 8
     cfg = ReproConfig().with_overrides(
         runtime={
             "executor": executor,
             "num_threads": 2,
             "mp_workers": 2,
-            "mp_chunk_size": 64,  # >= n: the whole twin set rides one chunk
+            "mp_chunk_size": chunk_size,
         }
     )
+    engine = make_engine("static", 2)
+    with Session(cfg, engine=engine) as session:
+        sources = [np.full(16, 3.0) for _ in range(n)]
+        sinks = [np.zeros(16) for _ in range(n)]
+        with session.batch():
+            for src, dst in zip(sources, sinks):
+                session.submit(
+                    SQUARE_TYPE, square_body,
+                    accesses=[In(src), Out(dst)], args=(src, dst),
+                )
+        result = session.wait_all()
+    return result, sinks
+
+
+def test_two_worker_reuse_is_deterministic_within_one_chunk():
+    """Pin of the PR 3 note (process backend): reuse at 2 workers is a
+    scheduling race *only* across chunks.
+
+    Whether a repeated task meets its twin's THT entry depends on which
+    worker's table saw the twin — racy when twins land in different chunks
+    (the process backend has no placement table to co-route them; the
+    network backend fixes this at the root, see the test below).  Within
+    one chunk it is deterministic: chunked dispatch sends the whole ready
+    set to a single worker, whose serial execution guarantees every later
+    twin hits the first one's commit.  Submitting all twins into one ready
+    set with ``mp_chunk_size`` >= the set size therefore must memoize
+    exactly ``n - 1`` tasks on a 2-worker pool, every run.
+    """
+    n = 8
     for _ in range(3):  # a race would need luck to pass three times
-        engine = make_engine("static", 2)
-        with Session(cfg, engine=engine) as session:
-            sources = [np.full(16, 3.0) for _ in range(n)]
-            sinks = [np.zeros(16) for _ in range(n)]
-            with session.batch():
-                for src, dst in zip(sources, sinks):
-                    session.submit(
-                        SQUARE_TYPE, square_body,
-                        accesses=[In(src), Out(dst)], args=(src, dst),
-                    )
-            result = session.wait_all()
+        result, sinks = _run_twins("process", chunk_size=64, n=n)
         assert result.tasks_completed == n
         assert result.tasks_memoized == n - 1, (
-            f"{executor}: expected deterministic reuse of {n - 1} twins in "
+            f"process: expected deterministic reuse of {n - 1} twins in "
             f"one chunk, got {result.tasks_memoized}"
+        )
+        for dst in sinks:
+            assert np.array_equal(dst, np.full(16, 9.0))
+
+
+def test_network_twin_reuse_is_deterministic_across_chunks():
+    """The two-worker reuse race, fixed at the root (since PR 7).
+
+    With ``mp_chunk_size=2`` the eight twins ride four separate chunks —
+    exactly the configuration whose reuse used to be a scheduling race
+    (per-worker engine deltas only merge at the drain barrier, so twins on
+    different endpoints both missed the THT).  The network backend's
+    key-affinity placement now routes same-key chunks to the endpoint that
+    saw the key first, so every later twin finds the first one's THT commit
+    and the count is exact: ``n - 1`` memoized, every run.
+    """
+    n = 8
+    for _ in range(3):  # the old race would need luck to pass three times
+        result, sinks = _run_twins("network", chunk_size=2, n=n)
+        assert result.tasks_completed == n
+        assert result.tasks_memoized == n - 1, (
+            f"network: expected deterministic cross-chunk reuse of {n - 1} "
+            f"twins, got {result.tasks_memoized}"
         )
         for dst in sinks:
             assert np.array_equal(dst, np.full(16, 9.0))

@@ -68,6 +68,8 @@ def test_flaky_task_heals_within_retry_budget(backend, tmp_path):
         result = session.wait_all()
     assert result.tasks_completed == 1
     assert result.failures == []
+    # Retries heal in place: no worker died, so no ATM delta was lost.
+    assert result.lost_deltas == 0
     assert np.array_equal(dst, src ** 2)
     with open(marker, "rb") as f:
         assert len(f.read()) == 3  # two failures + the success, no extras
@@ -169,6 +171,8 @@ def test_quarantine_cancels_dependents_and_drains_independents(backend):
     assert result.tasks_failed == 1
     assert result.tasks_cancelled == 2
     assert result.tasks_completed == 3
+    # Quarantine excludes tasks, not workers: nothing un-merged was lost.
+    assert result.lost_deltas == 0
     for src, dst in independents:
         assert np.array_equal(dst, src ** 2)
     assert len(result.failures) == 1

@@ -68,6 +68,9 @@ runtime_configs = st.builds(
     ),
     net_timeout_s=st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
     net_max_retries=st.integers(min_value=0, max_value=16),
+    net_timeout_grace_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    net_residency=st.booleans(),
+    net_residency_budget_bytes=st.integers(min_value=1, max_value=1 << 40),
     task_timeout_s=st.none() | st.floats(min_value=0.001, max_value=600.0, allow_nan=False),
     task_max_retries=st.integers(min_value=0, max_value=16),
     retry_backoff_s=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
@@ -206,6 +209,44 @@ class TestSupervisionKnobs:
             RuntimeConfig(drain_timeout_s=0.0)
         with pytest.raises(ConfigurationError, match="on_task_failure"):
             RuntimeConfig(on_task_failure="retry-forever")
+
+
+class TestResidencyKnobs:
+    """The PR-7 network residency knobs flow through every exchange format."""
+
+    KNOBS = {
+        "net_timeout_grace_s": 0.75,
+        "net_residency": False,
+        "net_residency_budget_bytes": 64 << 20,
+    }
+
+    @pytest.mark.parametrize("suffix", ["toml", "json"])
+    def test_file_round_trip(self, tmp_path, suffix):
+        cfg = ReproConfig.from_dict({"runtime": dict(self.KNOBS)})
+        path = tmp_path / f"run.{suffix}"
+        cfg.to_file(path)
+        loaded = ReproConfig.from_file(path)
+        for name, value in self.KNOBS.items():
+            assert getattr(loaded.runtime, name) == value
+
+    def test_dict_and_env_round_trip(self):
+        cfg = ReproConfig.from_dict({"runtime": dict(self.KNOBS)})
+        assert ReproConfig.from_dict(cfg.to_dict()) == cfg
+        assert ReproConfig.from_env(cfg.to_env()) == cfg
+        parsed = ReproConfig.from_env({"REPRO_RUNTIME_NET_RESIDENCY": "false"})
+        assert parsed.runtime.net_residency is False
+
+    def test_defaults(self):
+        cfg = RuntimeConfig()
+        assert cfg.net_residency is True
+        assert cfg.net_timeout_grace_s == 0.25
+        assert cfg.net_residency_budget_bytes == 256 << 20
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError, match="net_timeout_grace_s"):
+            RuntimeConfig(net_timeout_grace_s=-0.1)
+        with pytest.raises(ConfigurationError, match="net_residency_budget_bytes"):
+            RuntimeConfig(net_residency_budget_bytes=0)
 
 
 class TestEnv:
