@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures examples net-loopback net-residency net-soak fault-matrix ci
+.PHONY: test bench bench-check bench-quick figures examples net-loopback net-residency net-soak fault-matrix serve-smoke ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -27,8 +27,7 @@ figures:
 # API-facing docs can't rot: run the doctests of the public API modules and
 # execute all four examples serially at smoke scales.
 examples:
-	$(PYTHON) -m pytest --doctest-modules \
-		src/repro/runtime/api.py src/repro/session -q
+	$(PYTHON) -m pytest --doctest-modules src/repro/session -q
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/heat_diffusion.py
 	$(PYTHON) examples/option_pricing.py tiny
@@ -61,13 +60,21 @@ net-soak:
 fault-matrix:
 	$(PYTHON) -m pytest -m fault -q
 
+# Serving tier: the gateway smoke (concurrent tenants bit-identical to a
+# serial Session, ATM namespace isolation, shared-THT reuse) plus the
+# multi-client soak tests excluded from tier-1 by the `serving` marker.
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
+	$(PYTHON) -m pytest -m serving -q
+
 # Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke,
-# network-loopback matrix + soak, perf gates.
+# network-loopback matrix + soak, serving smoke, perf gates.
 ci:
 	$(PYTHON) -m pytest -x -q
 	$(MAKE) examples
 	$(MAKE) net-loopback
 	$(MAKE) net-residency
 	$(MAKE) net-soak
+	$(MAKE) serve-smoke
 	$(MAKE) fault-matrix
 	$(PYTHON) scripts/bench.py --check

@@ -60,7 +60,7 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 6
+        assert report["schema_version"] == 7
         assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
         # Schema 5: the fault-recovery micro (kill + respawn mid-drain).
@@ -74,6 +74,11 @@ class TestReport:
         for row in residency["rows"]:
             assert row["checksum_matches_serial"], row
         assert residency["improvement_dispatch_overhead"] > 0
+        # Schema 7: the multi-tenant serving suite, gated on admission fairness.
+        serving = report["serving"]
+        assert serving["throughput"]["gateway_tasks_per_sec"] > 0
+        assert serving["fairness"]["fairness_ratio"] > 0
+        assert serving["overhead"]["gateway_overhead_ratio"] > 0
         assert len(report["endtoend"]) == 6
         backend = report["process_backend"]
         assert backend["rows"], "process-backend comparison rows missing"

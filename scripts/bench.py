@@ -61,6 +61,7 @@ PROFILE_SUITES = {
     "net_residency": (
         "repro.perf.net_residency", "bench_net_residency", {"rounds": 1}
     ),
+    "serving": ("repro.perf.serving", "bench_serving", {"quick": True}),
 }
 
 
@@ -89,8 +90,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=7,
-        help="report generation number (default 7)",
+        "--bench-id", type=int, default=8,
+        help="report generation number (default 8)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -198,6 +199,26 @@ def main(argv: list[str] | None = None) -> int:
               f"(threshold "
               f"{report['checks']['thresholds']['net_residency_improvement']}x), "
               f"{residency['payload_reduction']}x payload{tcp_note}")
+
+    serving = report.get("serving", {})
+    if serving:
+        throughput = serving["throughput"]
+        fairness = serving["fairness"]
+        overhead = serving["overhead"]
+        print(f"  serving gateway ({serving['executor']}x{serving['workers']}, "
+              f"pending {serving['max_pending']}, quantum {serving['quantum']}): "
+              f"{throughput['gateway_tasks_per_sec']:.1f} tasks/s  "
+              f"p50 {throughput['latency_p50_s'] * 1e3:.2f}ms  "
+              f"p99 {throughput['latency_p99_s'] * 1e3:.2f}ms")
+        print(f"  serving fairness @ {fairness['backlog_ratio']}:1 backlog: "
+              f"ratio {fairness['fairness_ratio']} "
+              f"(light {fairness['light_completed']} vs heavy "
+              f"{fairness['heavy_completed_at_light_finish']}, threshold "
+              f"{report['checks']['thresholds']['serving_fairness_ratio']})")
+        print(f"  serving overhead vs local Session: "
+              f"{overhead['gateway_overhead_ratio']}x "
+              f"(gateway {overhead['gateway_wall_s']:.3f}s, "
+              f"session {overhead['session_wall_s']:.3f}s; recorded, not gated)")
 
     failures = check_report(report)
     baseline_path = (

@@ -39,7 +39,6 @@ paper (Brumar et al., IPPS 2017):
 """
 
 from repro._version import __version__
-from repro.runtime.api import TaskRuntime, task
 from repro.session import ReproConfig, Session
 from repro.atm.policy import (
     ATMMode,
@@ -56,8 +55,6 @@ __all__ = [
     "__version__",
     "Session",
     "ReproConfig",
-    "TaskRuntime",
-    "task",
     "ATMMode",
     "ATMPolicy",
     "NoATMPolicy",

@@ -88,7 +88,9 @@ class BenchmarkApp(abc.ABC):
 
         ``runtime`` is anything exposing the Session submission protocol
         (``submit`` / ``wait_all`` / ``finish``) — a
-        :class:`~repro.session.Session` or the legacy ``TaskRuntime`` shim.
+        :class:`~repro.session.Session` or the serving gateway's
+        :class:`~repro.serving.GatewayClient` (any ``submit``/``wait_all``
+        surface).
         """
 
     @abc.abstractmethod

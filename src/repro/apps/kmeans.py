@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.apps.base import BenchmarkApp, BenchmarkInfo, WorkloadScale
 from repro.common.rng import generator_for
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.task import Task
 
@@ -151,7 +151,7 @@ class KmeansApp(BenchmarkApp):
             cost_model=lambda task: 1.0 + 0.002 * task.input_bytes,
         )
 
-    def build(self, runtime: TaskRuntime) -> None:
+    def build(self, runtime: Session) -> None:
         for iteration in range(self.iterations):
             for block in range(self.n_blocks):
                 points = self.points[block]

@@ -27,7 +27,7 @@ import numpy as np
 from repro.apps.base import BenchmarkApp, BenchmarkInfo, WorkloadScale
 from repro.common.errors import correctness_percent
 from repro.common.rng import generator_for
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, InOut
 from repro.runtime.task import Task
 
@@ -172,7 +172,7 @@ class SparseLUApp(BenchmarkApp):
         return lower, upper
 
     # -- program ------------------------------------------------------------------------
-    def build(self, runtime: TaskRuntime) -> None:
+    def build(self, runtime: Session) -> None:
         present = self.present.copy()
         for k in range(self.nb):
             diag = self.blocks[k, k]

@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.apps.base import BenchmarkApp, BenchmarkInfo, WorkloadScale
 from repro.common.rng import generator_for
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, InOut, Out
 from repro.runtime.task import Task
 
@@ -193,7 +193,7 @@ class _StencilBase(BenchmarkApp):
             cost_model=lambda task: 0.05 + task.input_bytes / 2000.0,
         )
 
-    def _submit_halo_copies(self, runtime: TaskRuntime, blocks: np.ndarray, i: int, j: int) -> list:
+    def _submit_halo_copies(self, runtime: Session, blocks: np.ndarray, i: int, j: int) -> list:
         """Submit the copy tasks feeding block (i, j)'s halos; return accesses.
 
         The task bodies are the module-level :func:`copy_row` / :func:`copy_col`
@@ -258,7 +258,7 @@ class GaussSeidelApp(_StencilBase):
         paper_program_input="32x32 blocks of 1024x1024 elements",
     )
 
-    def build(self, runtime: TaskRuntime) -> None:
+    def build(self, runtime: Session) -> None:
         grid = self.grid
         for _ in range(self.iterations):
             for i in range(grid.block_rows):
@@ -311,7 +311,7 @@ class JacobiApp(_StencilBase):
         self.grid.blocks += noise
         self._back_buffer = np.array(self.grid.blocks, copy=True)
 
-    def build(self, runtime: TaskRuntime) -> None:
+    def build(self, runtime: Session) -> None:
         grid = self.grid
         src, dst = grid.blocks, self._back_buffer
         for _ in range(self.iterations):

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.apps.base import BenchmarkApp, BenchmarkInfo, WorkloadScale
 from repro.common.rng import generator_for
-from repro.runtime.api import TaskRuntime
+from repro.session import Session
 from repro.runtime.data import In, Out
 from repro.runtime.task import Task
 
@@ -150,7 +150,7 @@ class SwaptionsApp(BenchmarkApp):
             cost_model=lambda task: 1.0 + 0.5 * task.input_bytes,
         )
 
-    def build(self, runtime: TaskRuntime) -> None:
+    def build(self, runtime: Session) -> None:
         for index in range(self.n_swaptions):
             params = self.params[index]
             result = self.prices[index]

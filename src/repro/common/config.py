@@ -23,6 +23,7 @@ from repro.common.registry import EXECUTORS, POLICIES, SCHEDULERS
 __all__ = [
     "ATMConfig",
     "RuntimeConfig",
+    "ServingConfig",
     "SimulationConfig",
     "MIN_P",
     "P_LADDER",
@@ -175,7 +176,7 @@ class RuntimeConfig:
     num_threads:
         Worker threads / worker processes / simulated cores.
     executor:
-        Execution backend selected by :func:`repro.runtime.executor.make_executor`:
+        Execution backend selected by :func:`repro.runtime.executor.build_executor`:
         ``"serial"``, ``"threaded"``, ``"process"`` or ``"simulated"``
         (DESIGN.md §4).
     scheduler:
@@ -347,6 +348,115 @@ class RuntimeConfig:
             )
 
     def with_overrides(self, **kwargs) -> "RuntimeConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass
+class ServingConfig:
+    """Configuration of the multi-tenant serving gateway (DESIGN.md §8).
+
+    Attributes
+    ----------
+    host / port:
+        TCP listen address of the gateway daemon.  ``port = 0`` binds an
+        ephemeral port (the daemon prints the bound address), which is what
+        the tests and ``make serve-smoke`` use.
+    max_pending:
+        Bounded global pending pool: at most this many admitted tasks may be
+        in flight (submitted to the shared executor but not yet terminal)
+        across all tenants — the Puppetmaster-style cap that keeps the
+        shared scheduler's working set constant no matter how many clients
+        connect.  Over-budget work waits in per-tenant queues.
+    max_tenant_queue:
+        Per-tenant backlog cap.  A single batch larger than this can never
+        be admitted and is rejected with
+        :class:`~repro.common.exceptions.AdmissionError`; otherwise a full
+        queue exerts backpressure by blocking the tenant's connection.
+    quantum:
+        Deficit-round-robin quantum: credits (task admissions) granted per
+        scheduling round to a weight-1.0 tenant.  A tenant's per-round
+        credit is ``quantum * weight``; unused credit carries over while the
+        tenant has queued work, so bursty tenants are not penalised.
+    default_weight:
+        Fair-share weight assigned to tenants whose ``hello`` does not
+        request one.
+    shared_tht:
+        Default for the opt-in shared THT tier: when on, a tenant-engine
+        miss probes the gateway-wide shared table before executing, and the
+        merge pump publishes tenant deltas into it.  Tenants can override
+        per-connection in ``hello``.
+    merge_interval_s:
+        Period of the incremental ATM merge pump: at least this often every
+        tenant engine's journaled delta (``snapshot(reset=True)``) is merged
+        into the shared tier — no drain barrier required.
+    merge_min_commits:
+        Size trigger of the merge pump: a tenant engine whose journal
+        accumulates this many commits is merged immediately instead of
+        waiting for the timer.
+    result_history:
+        Per-tenant reservoir of completed-task latencies kept for ``stats``
+        replies (p50/p99); bounded so long-lived tenants use constant
+        memory.
+    shutdown_grace_s:
+        On SIGTERM/SIGINT the gateway stops admitting, waits up to this many
+        seconds for in-flight tasks to finish, flushes ATM deltas and
+        answers outstanding barriers before closing sockets.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_pending: int = 256
+    max_tenant_queue: int = 4096
+    quantum: int = 32
+    default_weight: float = 1.0
+    shared_tht: bool = False
+    merge_interval_s: float = 0.05
+    merge_min_commits: int = 64
+    result_history: int = 1024
+    shutdown_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if not self.host or not self.host.strip():
+            raise ConfigurationError("host must be a non-empty address")
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError(
+                f"port must be in [0, 65535], got {self.port}"
+            )
+        if self.max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {self.max_pending}"
+            )
+        if self.max_tenant_queue < 1:
+            raise ConfigurationError(
+                f"max_tenant_queue must be >= 1, got {self.max_tenant_queue}"
+            )
+        if self.quantum < 1:
+            raise ConfigurationError(f"quantum must be >= 1, got {self.quantum}")
+        if self.default_weight <= 0:
+            raise ConfigurationError(
+                f"default_weight must be > 0, got {self.default_weight}"
+            )
+        if self.merge_interval_s <= 0:
+            raise ConfigurationError(
+                f"merge_interval_s must be > 0, got {self.merge_interval_s}"
+            )
+        if self.merge_min_commits < 1:
+            raise ConfigurationError(
+                f"merge_min_commits must be >= 1, got {self.merge_min_commits}"
+            )
+        if self.result_history < 1:
+            raise ConfigurationError(
+                f"result_history must be >= 1, got {self.result_history}"
+            )
+        if self.shutdown_grace_s < 0:
+            raise ConfigurationError(
+                f"shutdown_grace_s must be >= 0, got {self.shutdown_grace_s}"
+            )
+
+    def with_overrides(self, **kwargs) -> "ServingConfig":
         return replace(self, **kwargs)
 
 

@@ -27,9 +27,14 @@ import numpy as np
 # here so ``repro.common.errors`` is the one-stop module for everything
 # error-shaped — metrics below, named failure classes here.
 from repro.common.exceptions import (  # noqa: F401  (re-export)
+    AdmissionError,
     DrainAbortedError,
+    GatewayError,
+    GatewayProtocolError,
+    GatewayShutdownError,
     TaskFailedError,
     TaskTimeoutError,
+    TenantRejectedError,
     WorkerLostError,
 )
 
@@ -43,6 +48,11 @@ __all__ = [
     "TaskTimeoutError",
     "WorkerLostError",
     "DrainAbortedError",
+    "GatewayError",
+    "GatewayProtocolError",
+    "TenantRejectedError",
+    "AdmissionError",
+    "GatewayShutdownError",
 ]
 
 

@@ -114,6 +114,46 @@ class NetworkDrainError(DrainAbortedError):
     """
 
 
+# -- serving-gateway taxonomy (DESIGN.md §8 "Serving layer") ----------------------
+#
+# The gateway never lets a server-side traceback leak to a client: every
+# error a tenant can observe is one of these named conditions, shipped over
+# the wire as a structured ``error`` reply and re-raised client-side.  They
+# mirror the supervision taxonomy above: per-request conditions subclass
+# ``GatewayError``; task-level failures inside a tenant's graph still arrive
+# as ``RunResult.failures`` entries in ``result``/``stats`` replies rather
+# than as exceptions.
+
+
+class GatewayError(ReproError):
+    """Base class for every error the serving gateway reports to a client."""
+
+
+class GatewayProtocolError(GatewayError):
+    """A client request was malformed or arrived out of sequence.
+
+    Examples: a ``submit`` before ``hello``, an unknown message type, or a
+    task referencing a buffer the tenant never shipped.
+    """
+
+
+class TenantRejectedError(GatewayError):
+    """The gateway refused a ``hello`` (duplicate tenant name, bad config)."""
+
+
+class AdmissionError(GatewayError):
+    """A submission violates the admission controller's hard limits.
+
+    Raised when a single batch alone exceeds the tenant's queue capacity —
+    backpressure that can never resolve by waiting.  Ordinary over-budget
+    submissions are queued, not rejected.
+    """
+
+
+class GatewayShutdownError(GatewayError):
+    """The gateway is draining for shutdown and no longer accepts work."""
+
+
 class WorkloadError(ReproError):
     """An application workload was configured with invalid parameters."""
 

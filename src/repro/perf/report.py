@@ -1,16 +1,17 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 6 — adds the ``net_residency``
-suite: the iterative stale-bytes dispatch benchmark for the network
-backend; version 5 added ``micro.fault_recovery``; version 4 added the
-``network_s`` / ``net_dispatch_overhead_ms_per_task`` columns to the
-backend rows):
+perf trajectory.  Schema (``schema_version`` 7 — adds the ``serving``
+suite: multi-tenant gateway throughput, latency percentiles, and the gated
+admission-fairness ratio; version 6 added the ``net_residency`` suite: the
+iterative stale-bytes dispatch benchmark for the network backend; version 5
+added ``micro.fault_recovery``; version 4 added the ``network_s`` /
+``net_dispatch_overhead_ms_per_task`` columns to the backend rows):
 
 .. code-block:: text
 
     {
-      "schema_version": 6,
+      "schema_version": 7,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
       "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
@@ -38,6 +39,13 @@ backend rows):
                     net_dispatch_overhead_ms_per_task, payload_bytes,
                     residency_hits, checksum_matches_serial}, ... ],
         "improvement_dispatch_overhead": ..., "payload_reduction": ...
+      },
+      "serving": {           # multi-tenant gateway front door
+        "executor": ..., "workers": ..., "max_pending": ..., "quantum": ...,
+        "throughput": {"gateway_tasks_per_sec": ...,
+                        "latency_p50_s": ..., "latency_p99_s": ..., ...},
+        "fairness": {"backlog_ratio": ..., "fairness_ratio": ..., ...},
+        "overhead": {"gateway_overhead_ratio": ..., ...}
       },
       "checks": {"keygen_speedup_multi_input": <float>,
                   "shuffle_memory_reduction": <float>,
@@ -86,13 +94,15 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-#: Schema 6 adds the ``net_residency`` suite (iterative stale-bytes
+#: Schema 7 adds the ``serving`` suite (multi-tenant gateway throughput,
+#: per-tenant latency percentiles, and the gated admission-fairness ratio).
+#: Schema 6 added the ``net_residency`` suite (iterative stale-bytes
 #: dispatch on the network backend) and its gated off/on dispatch-overhead
 #: improvement.  Schema 5 added ``micro.fault_recovery`` and the baseline
 #: comparison gates (:func:`compare_to_baseline`: e2e checksums
 #: bit-identical, submission throughput within tolerance of the previous
 #: BENCH report).
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
@@ -111,6 +121,13 @@ THRESHOLDS = {
     # what dominates, so the ratio is stable even on loaded runners; the
     # suite runs full-size in quick mode too — it costs ~2 s).
     "net_residency_improvement": 2.0,
+    # Gateway admission fairness: a light tenant submitting a 1x share
+    # behind a heavy tenant's 4x backlog (equal weights) must have its
+    # completions within 2x of the heavy tenant's at its own barrier.
+    # Pure FIFO admission measures ~0.25 at 4:1; weighted deficit
+    # round-robin measures ~0.7-0.8 on this container — the ratio is a
+    # policy property, not a wall-clock one, so it is stable enough to gate.
+    "serving_fairness_ratio": 0.5,
 }
 
 
@@ -127,6 +144,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
     )
     from repro.perf.net_residency import bench_net_residency
     from repro.perf.process_backend import bench_process_backend
+    from repro.perf.serving import bench_serving
 
     # Quick mode trims rounds, never input scale: small inputs make the cold
     # keygen cases Python-overhead-bound and the speedup gate unrepresentative.
@@ -154,6 +172,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
     # Full-size in quick mode too: the gated off/on ratio needs the byte
     # volume to dominate wall noise, and the suite only costs ~2 s.
     net_residency = bench_net_residency(rounds=1 if quick else 2)
+    serving = bench_serving(quick=quick)
     # Gate the *slowest* submission path: the per-task dependences micro and
     # every submission-suite shape (per-task and batched, including the
     # Session facade), so a regression confined to the batch protocol or the
@@ -170,6 +189,10 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
             "improvement_dispatch_overhead"
         ],
         "net_residency_payload_reduction": net_residency["payload_reduction"],
+        "serving_fairness_ratio": serving["fairness"]["fairness_ratio"],
+        "serving_tasks_per_sec": serving["throughput"][
+            "gateway_tasks_per_sec"
+        ],
         "thresholds": dict(THRESHOLDS),
     }
     checks["passed"] = all(
@@ -189,6 +212,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "endtoend": endtoend,
         "process_backend": process_backend,
         "net_residency": net_residency,
+        "serving": serving,
         "checks": checks,
     }
 

@@ -1,0 +1,194 @@
+"""Serving-gateway benchmark suite (PR 8): throughput, latency, fairness.
+
+Three phases, all against an in-process :class:`repro.serving.Gateway` on a
+threaded pool (the serving deployment shape: one shared long-lived pool,
+clients over real loopback TCP):
+
+* **throughput** — one tenant replays a seeded open-loop traffic plan
+  cycling the six evaluated applications (``repro.testing.traffic``) as
+  fast as the gateway admits them; reports ``gateway_tasks_per_sec`` and
+  the per-tenant completion-latency percentiles the gateway's ``stats``
+  surface tracks.
+* **fairness** — the admission-control headline: a heavy tenant pre-enqueues
+  a 4x backlog of identical synthetic work before a light tenant submits
+  its 1x share, equal weights.  ``fairness_ratio`` is
+  ``light_completed / heavy_completed`` sampled the moment the light
+  tenant's barrier resolves: pure FIFO admission would leave the light
+  tenant waiting behind the whole backlog (ratio -> 0.25 at 4:1); weighted
+  deficit round-robin interleaves admissions (ratio -> 1.0).  Gated
+  >= 0.5 in the BENCH report (``serving_fairness_ratio``).
+* **overhead** — the same six-app set through a local threaded Session
+  versus through the gateway (TCP framing, arena copies, admission).
+  Recorded for trend analysis, not gated: it is wall-clock on a shared
+  runner.
+
+Outputs are not re-checksummed here — the serving tests and
+``scripts/serve_smoke.py`` pin bit-identity against serial Session runs;
+the bench only reads counters the gateway already maintains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.perf.report import safe_ratio
+from repro.runtime.data import In, Out
+from repro.runtime.task import TaskType
+from repro.serving import Gateway, GatewayClient
+from repro.session import ReproConfig, Session
+from repro.testing.traffic import SERVED_APPS, burn_block, make_plan, replay
+
+__all__ = ["bench_serving"]
+
+#: Synthetic fairness workload: compute-dense, byte-light.  Each task burns
+#: ``FAIR_PASSES`` sweeps over a small ``FAIR_BLOCK``-float64 block, so the
+#: per-task cost (milliseconds) dwarfs both the light tenant's submission
+#: latency and the barrier write-backs (a few hundred KiB per tenant) —
+#: the measured ratio reflects admission policy, not TCP shipping.
+FAIR_BLOCK = 32 * 1024
+FAIR_PASSES = 256
+#: Tasks per synthetic request (also the per-tenant write-chain width).
+FAIR_WIDTH = 8
+BURN_TYPE = TaskType("serving_burn", memoizable=False)
+
+
+def _apps_throughput(port: int, requests: int) -> dict:
+    plan = make_plan(requests, rate_hz=1000.0, seed=8, apps=SERVED_APPS)
+    from repro.apps import make_benchmark
+
+    with GatewayClient("127.0.0.1", port, tenant="bench-traffic") as client:
+        t0 = time.perf_counter()
+
+        def dispatch(request):
+            make_benchmark(request.app, scale="tiny").build(client)
+
+        replay(plan, dispatch, speed=1e6)  # open loop, as fast as admitted
+        result = client.finish()
+        wall = time.perf_counter() - t0
+        stats = client.stats()
+    entry = stats["tenants"]["bench-traffic"]
+    return {
+        "requests": requests,
+        "apps": list(SERVED_APPS),
+        "tasks_completed": result.tasks_completed,
+        "wall_s": round(wall, 4),
+        "gateway_tasks_per_sec": round(
+            safe_ratio(result.tasks_completed, wall), 1
+        ),
+        "latency_p50_s": round(entry["latency_p50_s"], 6),
+        "latency_p99_s": round(entry["latency_p99_s"], 6),
+    }
+
+
+def _submit_requests(client: GatewayClient, arrays, n_requests: int) -> int:
+    """``n_requests`` x ``FAIR_WIDTH`` scale tasks; chains per dst array."""
+    src, dsts = arrays
+    specs = []
+    for _ in range(n_requests):
+        for dst in dsts:
+            specs.append(
+                (BURN_TYPE, burn_block, [In(src), Out(dst)],
+                 (src, dst, FAIR_PASSES))
+            )
+    client.submit_batch(specs)
+    return len(specs)
+
+
+def _fairness(port: int, light_requests: int, backlog_ratio: int) -> dict:
+    def tenant_arrays():
+        rng = np.random.default_rng(8)
+        src = rng.random(FAIR_BLOCK)
+        return src, [np.zeros(FAIR_BLOCK) for _ in range(FAIR_WIDTH)]
+
+    heavy = GatewayClient("127.0.0.1", port, tenant="bench-heavy")
+    light = GatewayClient("127.0.0.1", port, tenant="bench-light")
+    try:
+        heavy_arrays = tenant_arrays()
+        light_arrays = tenant_arrays()
+        # Warm-up request per tenant: ships the arena buffers
+        # outside the measured window, so the measured submissions below
+        # carry only refs (milliseconds) and the ratio reflects admission
+        # policy rather than TCP shipping latency.
+        warmup = _submit_requests(heavy, heavy_arrays, 1)
+        _submit_requests(light, light_arrays, 1)
+        heavy.wait_all()
+        light.wait_all()
+        heavy_tasks = _submit_requests(
+            heavy, heavy_arrays, light_requests * backlog_ratio
+        )
+        light_tasks = _submit_requests(light, light_arrays, light_requests)
+        light_result = light.finish()  # blocks until the light share drains
+        heavy_at_light_finish = (
+            light.stats()["tenants"]["bench-heavy"]["completed"] - warmup
+        )
+        heavy_result = heavy.finish()
+    finally:
+        light.close()
+        heavy.close()
+    assert light_result.tasks_failed == 0 and heavy_result.tasks_failed == 0
+    light_completed = light_result.tasks_completed - warmup
+    ratio = safe_ratio(
+        light_completed, heavy_at_light_finish, default=1.0
+    )
+    return {
+        "backlog_ratio": backlog_ratio,
+        "light_tasks": light_tasks,
+        "heavy_tasks": heavy_tasks,
+        "light_completed": light_completed,
+        "heavy_completed_at_light_finish": heavy_at_light_finish,
+        "fairness_ratio": round(ratio, 3),
+    }
+
+
+def _overhead(port: int) -> dict:
+    from repro.apps import make_benchmark
+
+    t0 = time.perf_counter()
+    with Session(
+        ReproConfig().with_overrides(
+            runtime={"executor": "threaded", "num_threads": 2}
+        )
+    ) as session:
+        for name in SERVED_APPS:
+            make_benchmark(name, scale="tiny").build(session)
+    session_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with GatewayClient("127.0.0.1", port, tenant="bench-overhead") as client:
+        for name in SERVED_APPS:
+            make_benchmark(name, scale="tiny").build(client)
+        client.finish()
+    gateway_wall = time.perf_counter() - t0
+    return {
+        "session_wall_s": round(session_wall, 4),
+        "gateway_wall_s": round(gateway_wall, 4),
+        "gateway_overhead_ratio": round(
+            safe_ratio(gateway_wall, session_wall, default=1.0), 3
+        ),
+    }
+
+
+def bench_serving(quick: bool = False) -> dict:
+    """Run the three serving phases against one in-process gateway."""
+    cfg = ReproConfig().with_overrides(
+        runtime={"executor": "threaded", "num_threads": 2},
+        serving={"max_pending": 8, "quantum": 2},
+    )
+    requests = 6 if quick else 12
+    light_requests = 4 if quick else 8
+    with Gateway(cfg) as gateway:
+        throughput = _apps_throughput(gateway.port, requests)
+        fairness = _fairness(gateway.port, light_requests, backlog_ratio=4)
+        overhead = _overhead(gateway.port)
+    return {
+        "executor": "threaded",
+        "workers": 2,
+        "max_pending": 8,
+        "quantum": 2,
+        "throughput": throughput,
+        "fairness": fairness,
+        "overhead": overhead,
+    }

@@ -13,23 +13,22 @@ The runtime exposes the same concepts the paper relies on:
 * four executors: a serial one, a real-thread one, a multiprocess
   shared-memory one and a deterministic discrete-event multicore simulator
   (:mod:`repro.runtime.executor`, :mod:`repro.runtime.mp_executor`,
-  :mod:`repro.runtime.simulator`, selected via
-  :func:`repro.runtime.executor.make_executor`; see DESIGN.md §4);
+  :mod:`repro.runtime.simulator`, selected by registry name via
+  :func:`repro.runtime.executor.build_executor`; see DESIGN.md §4);
 * an execution **trace recorder** used to regenerate the paper's Figures 7
-  and 8 (:mod:`repro.runtime.trace`);
-* the user-facing API (:mod:`repro.runtime.api`).
+  and 8 (:mod:`repro.runtime.trace`).
+
+The user-facing programming surface is :class:`repro.session.Session`.
 """
 
 from repro.runtime.data import AccessMode, DataAccess, DataRegion, In, InOut, Out
 from repro.runtime.task import Task, TaskState, TaskType
 from repro.runtime.graph import TaskDependenceGraph
-from repro.runtime.api import TaskRuntime, task
 from repro.runtime.executor import (
     RunResult,
     SerialExecutor,
     ThreadedExecutor,
     build_executor,
-    make_executor,
 )
 from repro.runtime.simulator import SimulatedExecutor
 from repro.runtime.mp_executor import ProcessExecutor
@@ -45,13 +44,10 @@ __all__ = [
     "TaskState",
     "TaskType",
     "TaskDependenceGraph",
-    "TaskRuntime",
-    "task",
     "RunResult",
     "SerialExecutor",
     "ThreadedExecutor",
     "SimulatedExecutor",
     "ProcessExecutor",
     "build_executor",
-    "make_executor",
 ]

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import threading
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -51,7 +50,6 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "build_executor",
-    "make_executor",
 ]
 
 
@@ -290,7 +288,7 @@ class BaseExecutor:
         """Release executor resources (worker pools, shared segments).
 
         No-op for in-process executors; the process backend overrides it.
-        :meth:`TaskRuntime.finish` calls it after the final barrier.
+        :meth:`repro.session.Session.finish` calls it after the final barrier.
         """
 
 
@@ -541,22 +539,3 @@ def build_executor(
     factory = EXECUTORS.factory(config.executor)
     return factory(config, engine, sim_config)
 
-
-def make_executor(
-    config: Optional[RuntimeConfig] = None,
-    engine: Optional[MemoizationEngineProtocol] = None,
-    sim_config=None,
-) -> BaseExecutor:
-    """Deprecated alias of the registry-backed executor assembly.
-
-    .. deprecated::
-        Construct runs through :class:`repro.session.Session` (or register
-        custom backends with :func:`repro.session.register_executor`).
-    """
-    warnings.warn(
-        "make_executor() is deprecated; construct runs through "
-        "repro.session.Session (executor=<name>) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return build_executor(config=config, engine=engine, sim_config=sim_config)

@@ -40,12 +40,23 @@ class TaskDependenceGraph:
     per-task callbacks for batched submissions (one call per
     :meth:`add_tasks` / :meth:`complete_task` release set), letting the
     executor push the whole set into its ready queue under one queue lock.
+
+    ``on_complete`` is invoked *outside* the graph lock for every terminal
+    transition — ``FINISHED``/``MEMOIZED`` completions, ``FAILED`` tasks,
+    ``CANCELLED`` successors of a quarantined failure, and tasks born
+    cancelled because they depend on already-quarantined work.  It runs on
+    whichever thread drove the transition (a worker thread on the threaded
+    backend, the drain thread elsewhere) and is the serving layer's per-task
+    accounting/admission seam; because it runs lock-free it may safely
+    submit follow-up tasks back into the same graph.  Callbacks must not
+    raise — an exception propagates into the completing executor.
     """
 
     def __init__(
         self,
         on_ready: Optional[Callable[[Task], None]] = None,
         on_ready_batch: Optional[Callable[[Sequence[Task]], None]] = None,
+        on_complete: Optional[Callable[[Task], None]] = None,
     ) -> None:
         self._lock = threading.RLock()
         self._tracker = DependenceTracker()
@@ -59,6 +70,7 @@ class TaskDependenceGraph:
         self._next_id = 0
         self._on_ready = on_ready
         self._on_ready_batch = on_ready_batch
+        self._on_complete = on_complete
         self._all_done = threading.Condition(self._lock)
 
     #: Largest accepted gap between an explicit task id and the next dense
@@ -136,6 +148,9 @@ class TaskDependenceGraph:
         with self._lock:
             if self._add_locked(task):
                 self._mark_ready(task)
+        if task.state is TaskState.CANCELLED and self._on_complete is not None:
+            # Born cancelled (doomed dependence): terminal at submission.
+            self._on_complete(task)
         return task
 
     def add_tasks(self, tasks: Iterable[Task]) -> list[Task]:
@@ -148,19 +163,26 @@ class TaskDependenceGraph:
         """
         submitted: list[Task] = []
         ready: list[Task] = []
-        with self._lock:
-            try:
-                for task in tasks:
-                    if self._add_locked(task):
-                        ready.append(task)
-                    submitted.append(task)
-            finally:
-                # A task that raised mid-batch (bad id, failing iterator) is
-                # not registered, but everything before it already counts
-                # toward all_finished — notify those on every path or a
-                # later drain would hang waiting for tasks no scheduler has.
-                if ready:
-                    self._mark_ready_batch(ready)
+        try:
+            with self._lock:
+                try:
+                    for task in tasks:
+                        if self._add_locked(task):
+                            ready.append(task)
+                        submitted.append(task)
+                finally:
+                    # A task that raised mid-batch (bad id, failing iterator)
+                    # is not registered, but everything before it already
+                    # counts toward all_finished — notify those on every path
+                    # or a later drain would hang waiting for tasks no
+                    # scheduler has.
+                    if ready:
+                        self._mark_ready_batch(ready)
+        finally:
+            if self._on_complete is not None:
+                for task in submitted:
+                    if task.state is TaskState.CANCELLED:
+                        self._on_complete(task)
         return submitted
 
     def _mark_ready(self, task: Task) -> None:
@@ -210,7 +232,9 @@ class TaskDependenceGraph:
                     self._mark_ready_batch(released)
             if self.all_finished:
                 self._all_done.notify_all()
-            return released
+        if self._on_complete is not None:
+            self._on_complete(task)
+        return released
 
     def fail_task(self, task: Task) -> list[Task]:
         """Quarantine: mark ``task`` FAILED and cancel its dependent subgraph.
@@ -243,7 +267,11 @@ class TaskDependenceGraph:
                     stack.append(succ)
             if self.all_finished:
                 self._all_done.notify_all()
-            return cancelled
+        if self._on_complete is not None:
+            self._on_complete(task)
+            for succ in cancelled:
+                self._on_complete(succ)
+        return cancelled
 
     # -- queries --------------------------------------------------------------
     @property

@@ -34,7 +34,7 @@ one lock — the THT delta merge at the barrier recovers the sharing instead.
 
 Worker processes persist across drains (barriers inside an application keep
 their warm THTs and keygen caches); :meth:`ProcessExecutor.close` — called
-automatically by :meth:`TaskRuntime.finish` and by a GC finalizer — shuts
+automatically by :meth:`repro.session.Session.finish` and by a GC finalizer — shuts
 the pool down and unlinks every shared segment.
 
 **Supervision** (DESIGN.md §7): a worker that *dies* mid-drain (killed,

@@ -1,0 +1,284 @@
+"""Synchronous client SDK for the serving gateway.
+
+:class:`GatewayClient` mirrors the Session submission surface —
+``submit`` / ``submit_batch`` / ``wait_all`` / ``finish`` / ``result`` — so
+an application's ``build(runtime)`` runs unchanged against a remote gateway:
+
+    with GatewayClient(host, port, tenant="alice") as client:
+        app.build(client)
+        result = client.finish()
+        checksum = app.output_checksum()
+
+Buffer model (server-authoritative): the first time a submission touches an
+array, the client ships the array's *whole owning base buffer* to the
+gateway; afterwards only byte-exact :class:`NetArrayRef` handles travel.
+The gateway's copy is authoritative between barriers — host-side writes to
+a shipped array are NOT observed by the server.  At every barrier the
+gateway returns the bytes of each buffer its tasks wrote and the client
+copies them back over the local arrays, so ``app.output()`` reads the same
+bytes a local Session run would produce.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.common import exceptions as _exceptions
+from repro.common.exceptions import GatewayError, RuntimeStateError
+from repro.runtime.data import DataAccess, DataRegion, _base_buffer
+from repro.runtime.executor import RunResult
+from repro.runtime.mp_executor import _TaskTypeSpec
+from repro.runtime.net_wire import (
+    NetArrayRef,
+    NetBuffer,
+    NetTaskDescriptor,
+    read_frame,
+    span_bytes,
+    write_frame,
+)
+from repro.runtime.task import TaskType
+from repro.serving.gateway import SERVING_PROTOCOL_VERSION
+
+__all__ = ["GatewayClient"]
+
+def _error_class(name: str) -> type:
+    """Resolve an error-reply class name against the unified taxonomy.
+
+    Anything unknown (a future gateway speaking a newer taxonomy) degrades
+    to the :class:`GatewayError` base rather than failing to raise.
+    """
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, _exceptions.ReproError):
+        return cls
+    return GatewayError
+
+
+class GatewayClient:
+    """One tenant's connection to a :class:`~repro.serving.gateway.Gateway`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        weight: float = 1.0,
+        atm_mode: Optional[str] = None,
+        atm_p: Optional[float] = None,
+        shared_tht: Optional[bool] = None,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        self.tenant = tenant
+        self._sock = socket.create_connection((host, port), timeout=connect_timeout_s)
+        self._sock.settimeout(None)
+        # id(base) -> base ndarray; holding the reference keeps the id stable
+        # and marks the buffer as already shipped.
+        self._ledger: dict[int, np.ndarray] = {}
+        self._submitted = 0
+        self._last_summary: Optional[dict] = None
+        self._closed = False
+        hello = {
+            "protocol": SERVING_PROTOCOL_VERSION,
+            "tenant": tenant,
+            "weight": weight,
+        }
+        if atm_mode is not None:
+            hello["atm_mode"] = atm_mode
+        if atm_p is not None:
+            hello["atm_p"] = atm_p
+        if shared_tht is not None:
+            hello["shared_tht"] = shared_tht
+        try:
+            reply = self._request(("hello", hello))
+        except BaseException:
+            self._sock.close()
+            raise
+        self.server_info: dict = reply[1]
+
+    # -- wire helpers ------------------------------------------------------------
+    def _request(self, message: tuple) -> tuple:
+        if self._closed:
+            raise RuntimeStateError("gateway client already closed")
+        write_frame(self._sock, message)
+        reply = read_frame(self._sock)
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            _, class_name, text = reply
+            raise _error_class(class_name)(text)
+        return reply
+
+    # -- buffer encoding ---------------------------------------------------------
+    def _ref(self, array: np.ndarray, ship: list, region: Optional[DataRegion] = None) -> NetArrayRef:
+        base = _base_buffer(array)
+        buffer_id = id(base)
+        if buffer_id not in self._ledger:
+            self._ledger[buffer_id] = base
+            ship.append(
+                NetBuffer(
+                    buffer_id=buffer_id,
+                    start=0,
+                    data=span_bytes(base, 0, base.nbytes),
+                )
+            )
+        base_addr = base.__array_interface__["data"][0]
+        my_addr = array.__array_interface__["data"][0]
+        return NetArrayRef(
+            buffer_id=buffer_id,
+            offset=int(my_addr - base_addr),
+            shape=tuple(array.shape),
+            strides=tuple(array.strides),
+            dtype=array.dtype.str,
+        )
+
+    def _encode_payload(self, value: Any, ship: list) -> Any:
+        if isinstance(value, np.ndarray):
+            return self._ref(value, ship)
+        if isinstance(value, tuple):
+            return tuple(self._encode_payload(v, ship) for v in value)
+        if isinstance(value, list):
+            return [self._encode_payload(v, ship) for v in value]
+        if isinstance(value, dict):
+            return {k: self._encode_payload(v, ship) for k, v in value.items()}
+        return value
+
+    def _describe(
+        self,
+        task_type: TaskType,
+        function: Callable,
+        accesses: Sequence[DataAccess],
+        args: tuple,
+        kwargs: Optional[dict],
+        ship: list,
+    ) -> NetTaskDescriptor:
+        encoded = tuple(
+            (
+                self._ref(access.region.array, ship, access.region),
+                access.mode.value,
+                access.region.name,
+            )
+            for access in accesses
+        )
+        task_id = self._submitted
+        self._submitted += 1
+        return NetTaskDescriptor(
+            task_id=task_id,
+            creation_index=task_id,
+            type_spec=_TaskTypeSpec.of(task_type),
+            function=getattr(function, "__wrapped__", function),
+            accesses=encoded,
+            args=self._encode_payload(tuple(args), ship),
+            kwargs=self._encode_payload(dict(kwargs or {}), ship),
+        )
+
+    # -- Session-compatible surface ----------------------------------------------
+    def submit(
+        self,
+        task_type: TaskType,
+        function: Callable,
+        accesses: Sequence[DataAccess],
+        args: tuple = (),
+        kwargs: Optional[dict] = None,
+    ) -> int:
+        """Ship one task; returns the client-side submission index."""
+        ship: list = []
+        desc = self._describe(task_type, function, accesses, args, kwargs, ship)
+        self._request(("submit", desc, tuple(ship)))
+        return desc.task_id
+
+    def submit_batch(
+        self, specs: "Sequence[Sequence] | Sequence[Mapping]"
+    ) -> list[int]:
+        """Ship many tasks in one frame (one ``ack`` round-trip)."""
+        ship: list = []
+        descs = []
+        for spec in specs:
+            if isinstance(spec, Mapping):
+                task_type = spec["task_type"]
+                function = spec["function"]
+                accesses = spec["accesses"]
+                args = spec.get("args", ())
+                kwargs = spec.get("kwargs")
+            else:
+                task_type, function, accesses = spec[0], spec[1], spec[2]
+                args = spec[3] if len(spec) > 3 else ()
+                kwargs = spec[4] if len(spec) > 4 else None
+            descs.append(
+                self._describe(task_type, function, accesses, args, kwargs, ship)
+            )
+        self._request(("submit_batch", tuple(descs), tuple(ship)))
+        return [d.task_id for d in descs]
+
+    def wait_all(self) -> dict:
+        """Barrier: block until every submitted task is terminal.
+
+        Applies the gateway's write-backs to the local arrays and returns
+        the tenant summary dict (also retrievable as :meth:`result`).
+        """
+        reply = self._request(("barrier",))
+        _, summary, dirty = reply
+        self._apply_writebacks(dirty)
+        self._last_summary = summary
+        return summary
+
+    def _apply_writebacks(self, dirty: Sequence[tuple]) -> None:
+        for buffer_id, data in dirty:
+            base = self._ledger.get(buffer_id)
+            if base is None:
+                raise GatewayError(
+                    f"write-back for unknown buffer {buffer_id:#x}"
+                )
+            flat = base.reshape(-1).view(np.uint8)
+            flat[:] = np.frombuffer(data, dtype=np.uint8)
+
+    def finish(self) -> RunResult:
+        """Barrier + final summary as a :class:`RunResult`; keeps the
+        connection open (``close`` ends it)."""
+        reply = self._request(("finish",))
+        _, summary, dirty = reply
+        self._apply_writebacks(dirty)
+        self._last_summary = summary
+        return self._to_run_result(summary)
+
+    def result(self) -> RunResult:
+        """Current tenant accounting (no barrier) as a :class:`RunResult`."""
+        reply = self._request(("result",))
+        summary = reply[1]
+        self._last_summary = summary
+        return self._to_run_result(summary)
+
+    def stats(self) -> dict:
+        """Gateway-wide statistics (admission, pool, per-tenant latency)."""
+        return self._request(("stats",))[1]
+
+    @staticmethod
+    def _to_run_result(summary: dict) -> RunResult:
+        result = RunResult(
+            tasks_completed=summary.get("tasks_completed", 0),
+            tasks_executed=summary.get("tasks_executed", 0),
+            tasks_memoized=summary.get("tasks_memoized", 0),
+            tasks_failed=summary.get("tasks_failed", 0),
+            tasks_cancelled=summary.get("tasks_cancelled", 0),
+            lost_deltas=summary.get("lost_deltas", 0),
+            failures=list(summary.get("failures", ())),
+        )
+        result.extra["tenant"] = summary.get("tenant")
+        result.extra["shared_hits"] = summary.get("shared_hits", 0)
+        result.extra["tasks_submitted"] = summary.get("tasks_submitted", 0)
+        return result
+
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -24,10 +24,6 @@ Three pieces:
   ``register_scheduler`` / ``register_policy`` extension hooks so future
   backends (e.g. the planned network transport, DESIGN.md §4.3) drop in
   without touching call sites.
-
-The legacy :class:`repro.runtime.api.TaskRuntime` and
-:func:`repro.runtime.executor.make_executor` remain as deprecation shims;
-see DESIGN.md §6 for the deprecation policy.
 """
 
 from repro.runtime.data import In, InOut, Out

@@ -1,11 +1,13 @@
 """The unified, declarative configuration tree of the Session API.
 
-A :class:`ReproConfig` aggregates the three leaf configuration dataclasses —
+A :class:`ReproConfig` aggregates the four leaf configuration dataclasses —
 :class:`~repro.common.config.RuntimeConfig` (``runtime``),
-:class:`~repro.common.config.ATMConfig` (``atm``) and
-:class:`~repro.common.config.SimulationConfig` (``simulation``) — into one
+:class:`~repro.common.config.ATMConfig` (``atm``),
+:class:`~repro.common.config.SimulationConfig` (``simulation``) and
+:class:`~repro.common.config.ServingConfig` (``serving``) — into one
 tree that fully describes a run: which backend, how many workers, which ATM
-policy with which knobs, and the simulated-machine cost model.
+policy with which knobs, the simulated-machine cost model, and the serving
+gateway's admission/merge knobs.
 
 The tree round-trips losslessly through three exchange formats:
 
@@ -33,7 +35,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
-from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
+from repro.common.config import (
+    ATMConfig,
+    RuntimeConfig,
+    ServingConfig,
+    SimulationConfig,
+)
 from repro.common.exceptions import ConfigurationError
 
 __all__ = ["ReproConfig", "ENV_PREFIX"]
@@ -45,6 +52,7 @@ _SECTION_TYPES: dict[str, type] = {
     "runtime": RuntimeConfig,
     "atm": ATMConfig,
     "simulation": SimulationConfig,
+    "serving": ServingConfig,
 }
 
 
@@ -121,6 +129,7 @@ class ReproConfig:
     runtime: RuntimeConfig = field(default_factory=RuntimeConfig)
     atm: ATMConfig = field(default_factory=ATMConfig)
     simulation: SimulationConfig = field(default_factory=SimulationConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
 
     # -- dict ----------------------------------------------------------------------
     def to_dict(self) -> dict[str, dict[str, Any]]:

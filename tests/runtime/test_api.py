@@ -1,4 +1,4 @@
-"""Tests for the user-facing runtime API (TaskRuntime and the @task decorator)."""
+"""Tests for the user-facing submission lifecycle (Session surface)."""
 
 from __future__ import annotations
 
@@ -6,14 +6,14 @@ import numpy as np
 import pytest
 
 from repro.common.exceptions import RuntimeStateError
-from repro.runtime.api import TaskRuntime, task
 from repro.runtime.data import In, Out
 from repro.runtime.task import TaskType
+from repro.session import Session
 
 from tests.conftest import make_serial_runtime
 
 
-class TestTaskRuntime:
+class TestSubmissionLifecycle:
     def test_submit_and_wait(self):
         runtime = make_serial_runtime()
         src, dst = np.arange(4.0), np.zeros(4)
@@ -65,14 +65,14 @@ class TestTaskRuntime:
         assert second.tasks_completed == 2 >= first.tasks_completed
 
     def test_default_executor_is_serial(self):
-        runtime = TaskRuntime()
-        assert runtime.executor is not None
+        session = Session()
+        assert session.executor is not None
         # Reading .result before any barrier is a state error, not a silent
         # zeroed result (see repro.session.Session.result).
         with pytest.raises(RuntimeStateError):
-            runtime.result
-        assert runtime.wait_all().tasks_completed == 0
-        assert runtime.result.tasks_completed == 0
+            session.result
+        assert session.wait_all().tasks_completed == 0
+        assert session.result.tasks_completed == 0
 
     def test_result_before_any_drain_raises(self):
         runtime = make_serial_runtime()
@@ -92,38 +92,22 @@ class TestTaskRuntime:
             runtime.finish()
 
 
-class TestTaskDecorator:
-    def test_runs_directly_without_runtime(self):
-        tt = TaskType("double", memoizable=True)
-
-        @task(tt, lambda src, dst: [In(src), Out(dst)])
-        def double(src, dst):
-            dst[:] = 2 * src
-
+class TestSessionTaskDecorator:
+    def test_decorated_calls_submit_and_finish_executes(self):
         a, b = np.ones(3), np.zeros(3)
-        double(a, b)
+        with Session() as session:
+            @session.task(memoizable=True)
+            def double(src: In, dst: Out):
+                dst[:] = 2 * src
+
+            double(a, b)
         assert b.tolist() == [2.0, 2.0, 2.0]
 
-    def test_submits_when_runtime_given(self):
-        tt = TaskType("triple", memoizable=True)
-
-        @task(tt, lambda src, dst: [In(src), Out(dst)])
-        def triple(src, dst):
-            dst[:] = 3 * src
-
-        runtime = make_serial_runtime()
-        a, b = np.ones(3), np.zeros(3)
-        submitted = triple(a, b, runtime=runtime)
-        assert submitted.task_type is tt
-        assert b.tolist() == [0.0, 0.0, 0.0]  # not executed yet
-        runtime.finish()
-        assert b.tolist() == [3.0, 3.0, 3.0]
-
     def test_decorator_exposes_task_type(self):
-        tt = TaskType("exposed")
+        with Session() as session:
+            @session.task(name="exposed")
+            def noop(dst: Out):
+                dst[:] = 0.0
 
-        @task(tt, lambda: [])
-        def noop():
-            return None
-
-        assert noop.task_type is tt
+            assert noop.task_type.name == "exposed"
+            noop(np.zeros(1))

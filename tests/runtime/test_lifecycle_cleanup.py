@@ -1,6 +1,6 @@
 """Regression tests: executor resources are released on *every* exit path.
 
-The seed's ``TaskRuntime.__exit__`` only called ``finish()`` when no
+The seed's runtime handle only called ``finish()`` on ``__exit__`` when no
 exception was in flight, so a raising ``with`` block leaked the process
 backend's worker pool and its ``multiprocessing.shared_memory`` segments.
 The Session lifecycle closes the executor on the error path too (without
@@ -10,7 +10,6 @@ draining), and ``finish()`` releases resources even when the drain raises.
 from __future__ import annotations
 
 import os
-import warnings
 
 import numpy as np
 import pytest
@@ -72,19 +71,16 @@ class TestProcessBackendCleanup:
                 raise RuntimeError("early")
         assert live_segments() - before == set()
 
-    def test_legacy_taskruntime_shim_cleans_up_on_error_too(self):
-        from repro.runtime.api import TaskRuntime
+    def test_explicit_executor_instance_cleans_up_on_error_too(self):
         from repro.runtime.mp_executor import ProcessExecutor
 
         before = live_segments()
         config = RuntimeConfig(num_threads=2, executor="process")
         with pytest.raises(RuntimeError):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                with TaskRuntime(executor=ProcessExecutor(config=config)) as runtime:
-                    submit_square(runtime.session)
-                    runtime.wait_all()
-                    raise RuntimeError("boom")
+            with Session(executor=ProcessExecutor(config=config)) as session:
+                submit_square(session)
+                session.wait_all()
+                raise RuntimeError("boom")
         assert live_segments() - before == set()
 
     def test_finish_releases_pool_and_result_survives(self):

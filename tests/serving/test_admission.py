@@ -1,0 +1,201 @@
+"""Unit tests for the fair-share admission controller (DESIGN.md §8)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.common.exceptions import AdmissionError, RuntimeStateError
+from repro.serving import AdmissionController
+
+
+def make(max_pending=64, max_tenant_queue=128, quantum=4) -> AdmissionController:
+    return AdmissionController(
+        max_pending=max_pending,
+        max_tenant_queue=max_tenant_queue,
+        quantum=quantum,
+    )
+
+
+class TestLifecycle:
+    def test_rejects_degenerate_limits(self):
+        for kwargs in (
+            {"max_pending": 0, "max_tenant_queue": 1, "quantum": 1},
+            {"max_pending": 1, "max_tenant_queue": 0, "quantum": 1},
+            {"max_pending": 1, "max_tenant_queue": 1, "quantum": 0},
+        ):
+            with pytest.raises(AdmissionError):
+                AdmissionController(**kwargs)
+
+    def test_duplicate_registration_raises(self):
+        adm = make()
+        adm.register("a")
+        with pytest.raises(AdmissionError, match="already registered"):
+            adm.register("a")
+
+    def test_nonpositive_weight_raises(self):
+        adm = make()
+        with pytest.raises(AdmissionError, match="weight"):
+            adm.register("a", weight=0.0)
+
+    def test_enqueue_unknown_tenant_raises(self):
+        adm = make()
+        with pytest.raises(AdmissionError, match="not registered"):
+            adm.enqueue("ghost", [1])
+
+    def test_unregister_with_backlog_refuses(self):
+        adm = make()
+        adm.register("a")
+        adm.enqueue("a", [1, 2])
+        with pytest.raises(RuntimeStateError, match="queued"):
+            adm.unregister("a")
+        adm.take()
+        adm.unregister("a")  # drained now
+        assert adm.queued("a") == 0
+
+
+class TestFifoAndPool:
+    def test_single_tenant_preserves_fifo(self):
+        adm = make()
+        adm.register("a")
+        adm.enqueue("a", list(range(20)))
+        admitted = [item for _, item in adm.take()]
+        assert admitted == list(range(20))
+
+    def test_per_tenant_order_survives_interleaving(self):
+        """DRR interleaves tenants but never reorders within one tenant."""
+        adm = make(max_pending=1000, quantum=2)
+        adm.register("a")
+        adm.register("b")
+        adm.enqueue("a", [("a", i) for i in range(30)])
+        adm.enqueue("b", [("b", i) for i in range(30)])
+        admitted = adm.take()
+        for name in ("a", "b"):
+            seq = [item[1] for tenant, item in admitted if tenant == name]
+            assert seq == sorted(seq), f"tenant {name} reordered"
+
+    def test_pending_pool_is_bounded(self):
+        adm = make(max_pending=10)
+        adm.register("a")
+        adm.enqueue("a", list(range(25)))
+        assert len(adm.take()) == 10
+        assert adm.pending == 10
+        assert adm.take() == []  # pool full -> nothing admitted
+        adm.release(4)
+        assert len(adm.take()) == 4
+        adm.release(6 + 4)
+        assert len(adm.take()) == 10  # budget capped even with 11 queued
+        adm.release(10)
+        assert len(adm.take()) == 1  # the remainder
+        assert adm.queued("a") == 0
+
+    def test_oversized_batch_rejected_immediately(self):
+        adm = make(max_tenant_queue=8)
+        adm.register("a")
+        with pytest.raises(AdmissionError, match="exceeds the per-tenant"):
+            adm.enqueue("a", list(range(9)))
+
+    def test_backpressure_timeout_raises(self):
+        adm = make(max_tenant_queue=4)
+        adm.register("a")
+        adm.enqueue("a", [1, 2, 3])
+        with pytest.raises(AdmissionError, match="timed out"):
+            adm.enqueue("a", [4, 5], timeout=0.05)
+
+    def test_backpressure_unblocks_when_pool_drains(self):
+        adm = make(max_pending=100, max_tenant_queue=4)
+        adm.register("a")
+        adm.enqueue("a", [1, 2, 3, 4])
+        done = threading.Event()
+
+        def producer():
+            adm.enqueue("a", [5, 6], timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert not done.wait(0.05)  # genuinely blocked on the full queue
+        adm.take()  # drain the backlog -> space frees -> producer resumes
+        assert done.wait(5.0)
+        thread.join()
+        assert adm.queued("a") == 2
+
+
+class TestDeficitRoundRobin:
+    def test_equal_weights_split_evenly(self):
+        adm = make(max_pending=40, quantum=4)
+        adm.register("a")
+        adm.register("b")
+        adm.enqueue("a", list(range(100)))
+        adm.enqueue("b", list(range(100)))
+        counts = {"a": 0, "b": 0}
+        for tenant, _ in adm.take():
+            counts[tenant] += 1
+        assert counts["a"] == counts["b"] == 20
+
+    def test_weights_bias_admission_share(self):
+        adm = make(max_pending=30, quantum=2)
+        adm.register("heavy", weight=2.0)
+        adm.register("light", weight=1.0)
+        adm.enqueue("heavy", list(range(100)))
+        adm.enqueue("light", list(range(100)))
+        counts = {"heavy": 0, "light": 0}
+        for tenant, _ in adm.take():
+            counts[tenant] += 1
+        assert counts["heavy"] + counts["light"] == 30
+        # 2:1 weights -> 2:1 share (exact here: both stay backlogged).
+        assert counts["heavy"] == 2 * counts["light"]
+
+    def test_heavy_backlog_cannot_starve_light_tenant(self):
+        """The fairness property the serving bench gates on."""
+        adm = make(max_pending=16, quantum=4)
+        adm.register("heavy")
+        adm.register("light")
+        adm.enqueue("heavy", list(range(128)))
+        adm.enqueue("light", list(range(16)))
+        light_seen = 0
+        for _ in range(9):  # nine pump/complete cycles
+            admitted = adm.take()
+            light_seen += sum(1 for tenant, _ in admitted if tenant == "light")
+            adm.release(len(admitted))
+        assert light_seen == 16  # all light work through despite 8x backlog
+        assert adm.queued("light") == 0
+
+    def test_idle_tenant_credit_does_not_bank(self):
+        adm = make(max_pending=100, quantum=4)
+        adm.register("idle")
+        adm.register("busy")
+        adm.enqueue("busy", list(range(8)))
+        adm.take()  # idle tenant visited with an empty queue
+        adm.release(8)
+        # If idle credit banked across visits, the idle tenant would now
+        # burst ahead; classic DRR resets it, so a fresh arrival is admitted
+        # with exactly one round's credit like anyone else.
+        adm.enqueue("idle", list(range(8)))
+        adm.enqueue("busy", list(range(8)))
+        counts = {"idle": 0, "busy": 0}
+        for tenant, _ in adm.take():
+            counts[tenant] += 1
+        assert counts["idle"] == counts["busy"] == 8
+
+    def test_fractional_weight_still_progresses(self):
+        adm = make(max_pending=100, quantum=1)
+        adm.register("slow", weight=0.25)
+        adm.enqueue("slow", list(range(3)))
+        # quantum * weight = 0.25 credit/round: the ceil-based refill grants
+        # whole-task credit instead of looping forever below 1.0.
+        assert len(adm.take()) == 3
+
+    def test_snapshot_counters(self):
+        adm = make()
+        adm.register("a", weight=1.5)
+        adm.enqueue("a", list(range(6)))
+        adm.take()
+        snap = adm.snapshot()
+        assert snap["pending"] == 6
+        assert snap["max_pending"] == adm.max_pending
+        assert snap["tenants"]["a"]["enqueued"] == 6
+        assert snap["tenants"]["a"]["admitted"] == 6
+        assert snap["tenants"]["a"]["queued"] == 0
+        assert snap["tenants"]["a"]["weight"] == 1.5

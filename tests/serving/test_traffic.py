@@ -1,0 +1,124 @@
+"""Tests for the seeded open-loop traffic generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.exceptions import WorkloadError
+from repro.testing.traffic import (
+    SERVED_APPS,
+    Request,
+    arrival_times,
+    make_plan,
+    replay,
+)
+
+
+class TestArrivalTimes:
+    def test_poisson_is_seeded_and_ascending(self):
+        a = arrival_times(200, rate_hz=50.0, seed=7)
+        b = arrival_times(200, rate_hz=50.0, seed=7)
+        assert np.array_equal(a, b)
+        assert np.all(np.diff(a) >= 0)
+        assert not np.array_equal(a, arrival_times(200, rate_hz=50.0, seed=8))
+
+    def test_poisson_long_run_rate(self):
+        times = arrival_times(5000, rate_hz=100.0, seed=1)
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(100.0, rel=0.1)
+
+    def test_burst_groups_and_rate(self):
+        times = arrival_times(4000, rate_hz=100.0, seed=3,
+                              process="burst", burst_size=8)
+        # Arrivals come in groups of burst_size simultaneous requests.
+        assert np.array_equal(times[:8], np.repeat(times[0], 8))
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(100.0, rel=0.15)
+
+    def test_invalid_arguments_raise(self):
+        with pytest.raises(WorkloadError):
+            arrival_times(-1, 1.0)
+        with pytest.raises(WorkloadError):
+            arrival_times(1, 0.0)
+        with pytest.raises(WorkloadError):
+            arrival_times(1, 1.0, process="burst", burst_size=0)
+        with pytest.raises(WorkloadError, match="unknown arrival process"):
+            arrival_times(1, 1.0, process="uniform")
+
+
+class TestPlan:
+    def test_plan_is_reproducible(self):
+        assert make_plan(60, 20.0, seed=5) == make_plan(60, 20.0, seed=5)
+
+    def test_plan_cycles_all_served_apps(self):
+        plan = make_plan(len(SERVED_APPS) * 2, 10.0, seed=0)
+        assert [r.app for r in plan[: len(SERVED_APPS)]] == list(SERVED_APPS)
+        assert {r.app for r in plan} == set(SERVED_APPS)
+
+    def test_per_request_seeds_are_distinct(self):
+        plan = make_plan(100, 10.0, seed=9)
+        assert len({r.seed for r in plan}) == 100
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_plan(4, 1.0, apps=())
+
+
+class TestReplay:
+    def test_open_loop_with_fake_clock(self):
+        """A slow dispatcher makes later requests late, never fewer."""
+        plan = [Request(at_s=t, app="jacobi", seed=0) for t in (0.0, 1.0, 2.0)]
+        now = [0.0]
+        slept: list[float] = []
+
+        def clock():
+            return now[0]
+
+        def sleep(dt):
+            slept.append(dt)
+            now[0] += dt
+
+        def dispatch(request):
+            now[0] += 1.5  # dispatcher slower than the 1.0 s arrival gap
+
+        offsets = replay(plan, dispatch, clock=clock, sleep=sleep)
+        assert len(offsets) == 3  # every request dispatched, none dropped
+        assert slept == []  # already behind schedule -> no waiting
+        # Later requests go out late (behind their planned offsets).
+        assert offsets == [pytest.approx(1.5), pytest.approx(3.0),
+                           pytest.approx(4.5)]
+
+    def test_fast_dispatcher_waits_each_gap(self):
+        plan = [Request(at_s=t, app="jacobi", seed=0) for t in (0.0, 1.0, 2.0)]
+        now = [0.0]
+        slept: list[float] = []
+
+        def clock():
+            return now[0]
+
+        def sleep(dt):
+            slept.append(dt)
+            now[0] += dt
+
+        replay(plan, lambda r: None, clock=clock, sleep=sleep)
+        assert slept == [pytest.approx(1.0), pytest.approx(1.0)]
+
+    def test_speed_scales_waits(self):
+        plan = [Request(at_s=t, app="lu", seed=0) for t in (0.0, 4.0)]
+        now = [0.0]
+        slept: list[float] = []
+
+        def clock():
+            return now[0]
+
+        def sleep(dt):
+            slept.append(dt)
+            now[0] += dt
+
+        replay(plan, lambda r: None, speed=4.0, clock=clock, sleep=sleep)
+        assert slept == [pytest.approx(1.0)]
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(WorkloadError):
+            replay([], lambda r: None, speed=0.0)

@@ -8,7 +8,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.common.config import ATMConfig, RuntimeConfig, SimulationConfig
+from repro.common.config import (
+    ATMConfig,
+    RuntimeConfig,
+    ServingConfig,
+    SimulationConfig,
+)
 from repro.common.exceptions import ConfigurationError
 from repro.session import ReproConfig
 
@@ -247,6 +252,65 @@ class TestResidencyKnobs:
             RuntimeConfig(net_timeout_grace_s=-0.1)
         with pytest.raises(ConfigurationError, match="net_residency_budget_bytes"):
             RuntimeConfig(net_residency_budget_bytes=0)
+
+
+class TestServingConfig:
+    """The PR-8 serving-gateway section flows through every exchange format."""
+
+    KNOBS = {
+        "host": "0.0.0.0",
+        "port": 9201,
+        "max_pending": 64,
+        "max_tenant_queue": 512,
+        "quantum": 16,
+        "default_weight": 2.0,
+        "shared_tht": True,
+        "merge_interval_s": 0.1,
+        "merge_min_commits": 8,
+        "result_history": 256,
+        "shutdown_grace_s": 2.5,
+    }
+
+    @pytest.mark.parametrize("suffix", ["toml", "json"])
+    def test_file_round_trip(self, tmp_path, suffix):
+        cfg = ReproConfig.from_dict({"serving": dict(self.KNOBS)})
+        path = tmp_path / f"serve.{suffix}"
+        cfg.to_file(path)
+        loaded = ReproConfig.from_file(path)
+        for name, value in self.KNOBS.items():
+            assert getattr(loaded.serving, name) == value
+
+    def test_dict_and_env_round_trip(self):
+        cfg = ReproConfig.from_dict({"serving": dict(self.KNOBS)})
+        assert ReproConfig.from_dict(cfg.to_dict()) == cfg
+        assert ReproConfig.from_env(cfg.to_env()) == cfg
+        parsed = ReproConfig.from_env({
+            "REPRO_SERVING_SHARED_THT": "true",
+            "REPRO_SERVING_MAX_PENDING": "128",
+        })
+        assert parsed.serving.shared_tht is True
+        assert parsed.serving.max_pending == 128
+
+    def test_defaults(self):
+        cfg = ServingConfig()
+        assert cfg.host == "127.0.0.1"
+        assert cfg.port == 0
+        assert cfg.max_pending == 256
+        assert cfg.shared_tht is False
+
+    def test_validation_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError, match="port"):
+            ServingConfig(port=70000)
+        with pytest.raises(ConfigurationError, match="max_pending"):
+            ServingConfig(max_pending=0)
+        with pytest.raises(ConfigurationError, match="max_tenant_queue"):
+            ServingConfig(max_tenant_queue=0)
+        with pytest.raises(ConfigurationError, match="quantum"):
+            ServingConfig(quantum=0)
+        with pytest.raises(ConfigurationError, match="default_weight"):
+            ServingConfig(default_weight=0.0)
+        with pytest.raises(ConfigurationError, match="host"):
+            ServingConfig(host="  ")
 
 
 class TestEnv:
