@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-check bench-quick figures examples net-loopback net-residency net-soak fault-matrix serve-smoke ci
+.PHONY: test bench bench-check bench-quick figures examples net-loopback net-residency net-soak fault-matrix serve-smoke tht-store ci
 
 # Tier-1 verification: the full unit + integration suite.
 test:
@@ -67,6 +67,15 @@ serve-smoke:
 	$(PYTHON) scripts/serve_smoke.py
 	$(PYTHON) -m pytest -m serving -q
 
+# Persistent THT tier: the store/shard unit + integration suite (file
+# format, corruption handling, shard protocol, Session warm starts, the
+# gateway's store-backed shared tier) plus the cold-vs-warm benchmark in
+# quick mode — proves warm restores stay bit-identical end to end.
+tht-store:
+	$(PYTHON) -m pytest tests/atm/test_tht_store.py \
+		tests/serving/test_gateway.py -x -q
+	$(PYTHON) scripts/bench.py --quick --out /tmp/tht_store_bench.json
+
 # Mirror of .github/workflows/ci.yml: tier-1 suite, examples smoke,
 # network-loopback matrix + soak, serving smoke, perf gates.
 ci:
@@ -77,4 +86,5 @@ ci:
 	$(MAKE) net-soak
 	$(MAKE) serve-smoke
 	$(MAKE) fault-matrix
+	$(MAKE) tht-store
 	$(PYTHON) scripts/bench.py --check

@@ -60,7 +60,7 @@ class TestMicrobenchmarks:
 class TestReport:
     def test_quick_report_builds_and_passes(self):
         report = build_report(bench_id=0, quick=True)
-        assert report["schema_version"] == 7
+        assert report["schema_version"] == 8
         assert report["micro"]["submission"]["cases"]
         assert report["micro"]["keygen"]["cases"]
         # Schema 5: the fault-recovery micro (kill + respawn mid-drain).
@@ -79,6 +79,13 @@ class TestReport:
         assert serving["throughput"]["gateway_tasks_per_sec"] > 0
         assert serving["fairness"]["fairness_ratio"] > 0
         assert serving["overhead"]["gateway_overhead_ratio"] > 0
+        # Schema 8: the persistent-store suite, gated on warm hit rate.
+        tht_warm = report["tht_warm"]
+        assert tht_warm["rows"], "tht-warm rows missing"
+        for row in tht_warm["rows"]:
+            assert row["checksum_matches_serial"], row
+        assert tht_warm["warm_hit_rate_percent"] >= 50.0
+        assert tht_warm["checksums_identical"]
         assert len(report["endtoend"]) == 6
         backend = report["process_backend"]
         assert backend["rows"], "process-backend comparison rows missing"

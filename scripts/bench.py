@@ -62,6 +62,7 @@ PROFILE_SUITES = {
         "repro.perf.net_residency", "bench_net_residency", {"rounds": 1}
     ),
     "serving": ("repro.perf.serving", "bench_serving", {"quick": True}),
+    "tht_warm": ("repro.perf.tht_warm", "bench_tht_warm", {"quick": True}),
 }
 
 
@@ -90,8 +91,8 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default: BENCH_<id>.json at the repo root)",
     )
     parser.add_argument(
-        "--bench-id", type=int, default=8,
-        help="report generation number (default 8)",
+        "--bench-id", type=int, default=9,
+        help="report generation number (default 9)",
     )
     parser.add_argument(
         "--baseline", default=None,
@@ -219,6 +220,22 @@ def main(argv: list[str] | None = None) -> int:
               f"{overhead['gateway_overhead_ratio']}x "
               f"(gateway {overhead['gateway_wall_s']:.3f}s, "
               f"session {overhead['session_wall_s']:.3f}s; recorded, not gated)")
+
+    tht_warm = report.get("tht_warm", {})
+    for row in tht_warm.get("rows", []):
+        print(f"  tht-store {row['benchmark']:13} {row['store']:4} "
+              f"{row['phase']:4} wall {row['wall_s']:7.3f}s  "
+              f"hits {row['tht_hits']:5}/{row['tht_hits'] + row['tht_misses']:5} "
+              f"({row['tht_hit_rate_percent']:6.2f}%)  "
+              f"reuse {row['reuse_percent']:6.2f}%  "
+              f"{'OK' if row['checksum_matches_serial'] else 'CHECKSUM MISMATCH'}")
+    if tht_warm:
+        print(f"  tht-store warm hit rate: {tht_warm['warm_hit_rate_percent']}% "
+              f"(threshold "
+              f"{report['checks']['thresholds']['tht_warm_hit_rate_percent']}%; "
+              f"cold max {tht_warm['cold_hit_rate_percent']}%), "
+              f"checksums "
+              f"{'bit-identical' if tht_warm['checksums_identical'] else 'DIVERGED'}")
 
     failures = check_report(report)
     baseline_path = (

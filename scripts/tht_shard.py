@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Standalone THT cache-shard daemon (DESIGN.md §9).
+
+Holds one :class:`repro.atm.tht.TaskHistoryTable` and serves it to any
+number of sessions and gateways over the :mod:`repro.runtime.net_wire`
+frame protocol: ``hello``/``hello_ack`` (protocol handshake), ``fetch``
+(download the whole table as one delta), ``publish`` (merge a delta in),
+``stats``.  Clients address it as ``atm.tht_store="tcp://host:port"`` —
+the shard is what turns per-process memoization into a warm tier shared
+across processes, machines and gateway restarts.
+
+Usage::
+
+    python scripts/tht_shard.py --host 127.0.0.1 --port 9201
+    python scripts/tht_shard.py --port 0 --announce     # ephemeral, printed
+    python scripts/tht_shard.py --backing /var/tmp/shard.tht
+
+then point any session or gateway at it from config alone::
+
+    REPRO_ATM_THT_STORE=tcp://127.0.0.1:9201 python my_program.py
+
+``--backing FILE`` makes the shard itself durable: the table is warm-started
+from that ``file://``-format snapshot at boot (a corrupt file cold-starts
+the shard, mirroring the Session's semantics) and flushed back on graceful
+shutdown and every ``--flush-every`` publishes.
+
+SIGTERM/SIGINT trigger a graceful shutdown: the listener stops accepting,
+in-flight requests get a grace period, the backing file (if any) receives a
+final compacted snapshot, then the sockets close.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socketserver
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.atm.store import (  # noqa: E402
+    FileTHTStore,
+    ShardState,
+    serve_shard_connection,
+)
+from repro.common.config import ATMConfig  # noqa: E402
+
+#: Seconds a graceful shutdown waits for in-flight connections to drain.
+SHUTDOWN_GRACE_S = 5.0
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    def handle(self) -> None:
+        self.server.track_connection(+1)
+        try:
+            serve_shard_connection(self.request, self.server.state)
+        finally:
+            self.server.track_connection(-1)
+
+
+class _Server(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, handler, state: ShardState, flush_every: int = 0) -> None:
+        super().__init__(address, handler)
+        self.state = state
+        self._flush_every = flush_every
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+
+    def track_connection(self, delta: int) -> None:
+        with self._inflight_lock:
+            self._inflight += delta
+        if delta < 0 and self._flush_every > 0 and self.state.backing is not None:
+            # Periodic durability: flush after every Nth publish, checked as
+            # connections retire so the accept loop never blocks on fsync.
+            if self.state.publishes and self.state.publishes % self._flush_every == 0:
+                self.state.flush()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def shutdown_gracefully(self, grace_s: float = SHUTDOWN_GRACE_S) -> None:
+        """Stop accepting, drain live requests, flush backing, close."""
+        self.shutdown()
+        deadline = time.monotonic() + grace_s
+        while self.inflight > 0 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        self.state.flush()
+        self.server_close()
+
+
+def make_state(
+    bucket_bits: int = ATMConfig.tht_bucket_bits,
+    bucket_capacity: int = ATMConfig.tht_bucket_capacity,
+    backing: "str | Path | None" = None,
+) -> ShardState:
+    """Build the shard's table state from its geometry + optional backing."""
+    config = ATMConfig(
+        tht_bucket_bits=bucket_bits, tht_bucket_capacity=bucket_capacity
+    )
+    store = FileTHTStore(backing, atm_config=config) if backing else None
+    return ShardState(atm_config=config, backing=store)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9201,
+                        help="bind port (0 = ephemeral, default 9201)")
+    parser.add_argument("--announce", action="store_true",
+                        help="print 'listening <host>:<port>' once bound "
+                             "(for harnesses starting daemons on port 0)")
+    parser.add_argument("--bucket-bits", type=int,
+                        default=ATMConfig.tht_bucket_bits,
+                        help="THT geometry: 2^bits buckets")
+    parser.add_argument("--bucket-capacity", type=int,
+                        default=ATMConfig.tht_bucket_capacity,
+                        help="THT geometry: entries per bucket (FIFO evict)")
+    parser.add_argument("--backing", default=None,
+                        help="snapshot file to warm-start from and flush to")
+    parser.add_argument("--flush-every", type=int, default=0,
+                        help="flush the backing file every N publishes "
+                             "(0 = only on shutdown)")
+    args = parser.parse_args(argv)
+
+    state = make_state(args.bucket_bits, args.bucket_capacity, args.backing)
+    server = _Server((args.host, args.port), _Handler, state,
+                     flush_every=args.flush_every)
+    host, port = server.server_address[:2]
+    if args.announce:
+        print(f"listening {host}:{port}", flush=True)
+
+    closed = threading.Event()
+
+    def request_shutdown(signum, frame):  # pragma: no cover - signal driven
+        # serve_forever's own thread cannot call shutdown() (it would
+        # deadlock on the serve loop); hand the teardown to a helper thread.
+        def teardown() -> None:
+            server.shutdown_gracefully()
+            closed.set()
+
+        threading.Thread(target=teardown, name="tht-shard-shutdown").start()
+
+    signal.signal(signal.SIGTERM, request_shutdown)
+    signal.signal(signal.SIGINT, request_shutdown)
+
+    try:
+        server.serve_forever(poll_interval=0.2)
+    finally:
+        if not closed.is_set():
+            server.shutdown_gracefully()
+    return 0
+
+
+def serve_in_thread(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    bucket_bits: int = ATMConfig.tht_bucket_bits,
+    bucket_capacity: int = ATMConfig.tht_bucket_capacity,
+    backing: "str | Path | None" = None,
+):
+    """Start a shard in-process (tests/benchmarks); returns (server, addr).
+
+    Call ``server.shutdown_gracefully()`` (or ``server.shutdown();
+    server.server_close()``) to stop it.
+    """
+    state = make_state(bucket_bits, bucket_capacity, backing)
+    server = _Server((host, port), _Handler, state)
+    thread = threading.Thread(target=server.serve_forever, args=(0.2,), daemon=True)
+    thread.start()
+    bound_host, bound_port = server.server_address[:2]
+    return server, f"{bound_host}:{bound_port}"
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,16 @@ fraction through a different floating-point path.
 Hit/miss/insertion/eviction statistics are kept per bucket, under the bucket
 lock that the operation already holds, and aggregated on read — the seed's
 single global counter lock serialised every probe of every worker.
+
+Lock ordering: when the insertion journal is enabled, writers (``insert``,
+``merge``) take ``_journal_lock`` *before* any bucket lock, and ``snapshot``
+holds ``_journal_lock`` across its whole capture.  That single ordering rule
+is what makes a ``snapshot(reset=True)`` delta consistent: no journaled
+commit can land between the entry capture and the counter capture/reset, so
+every counted insertion is shipped by exactly one snapshot.  ``lookup``
+never touches the journal lock — probes stay per-bucket concurrent.
+``enable_journal`` must therefore be called before concurrent writers start
+(session open, worker startup), which every caller already does.
 """
 
 from __future__ import annotations
@@ -132,24 +142,49 @@ class TaskHistoryTable:
             outputs=outputs,
             producer_index=producer_index,
         )
-        index = self.bucket_index(key)
+        if self._journal is not None:
+            # Journal-lock-first ordering (see module docstring): the commit
+            # and its journal record are one atomic step with respect to
+            # snapshot(reset=True).
+            with self._journal_lock:
+                self._store(entry, local=True)
+                if self._journal is not None:
+                    self._journal.append(entry)
+        else:
+            self._store(entry, local=True)
+        return entry
+
+    def _store(self, entry: THTEntry, local: bool) -> None:
+        """Place one entry into its bucket with refresh/FIFO-evict semantics.
+
+        ``local`` commits (this table's own insertions) bump the bucket's
+        insertion/eviction counters; foreign commits (merged peer entries)
+        only record evictions, in the foreign fold, because the peer already
+        counted the insertion.
+        """
+        index = bucket_of_value(entry.key_value, self.config.tht_bucket_bits)
         with self._locks[index]:
             bucket = self._buckets[index]
             counters = self._counters[index]
             for position, existing in enumerate(bucket):
-                if existing.matches(key, task_type_name):
+                if (
+                    existing.key_value == entry.key_value
+                    and existing.task_type_name == entry.task_type_name
+                    and existing.p_canonical == entry.p_canonical
+                ):
                     bucket[position] = entry
-                    counters.insertions += 1
-                    return entry
+                    if local:
+                        counters.insertions += 1
+                    return
             if len(bucket) >= self.capacity:
                 bucket.popleft()
-                counters.evictions += 1
+                if local:
+                    counters.evictions += 1
+                else:
+                    self._foreign.evictions += 1
             bucket.append(entry)
-            counters.insertions += 1
-        if self._journal is not None:
-            with self._journal_lock:
-                self._journal.append(entry)
-        return entry
+            if local:
+                counters.insertions += 1
 
     # -- cross-process deltas ----------------------------------------------------
     def enable_journal(self) -> None:
@@ -158,64 +193,91 @@ class TaskHistoryTable:
             if self._journal is None:
                 self._journal = []
 
+    def _sweep_counters(self, reset: bool, collect_entries: bool) -> tuple[list[THTEntry], dict]:
+        """Capture (and optionally reset) all counters in per-bucket passes.
+
+        Each bucket's entries and counters are read — and, with ``reset``,
+        zeroed — inside one critical section, so no probe or commit can slip
+        between a bucket's capture and its reset: a counted event is reported
+        by exactly one snapshot.
+        """
+        entries: list[THTEntry] = []
+        totals = {"hits": 0, "misses": 0, "insertions": 0, "evictions": 0}
+        for index in range(self.n_buckets):
+            with self._locks[index]:
+                if collect_entries:
+                    entries.extend(self._buckets[index])
+                counters = self._counters[index]
+                totals["hits"] += counters.hits
+                totals["misses"] += counters.misses
+                totals["insertions"] += counters.insertions
+                totals["evictions"] += counters.evictions
+                if reset:
+                    counters.reset()
+        totals["hits"] += self._foreign.hits
+        totals["misses"] += self._foreign.misses
+        totals["insertions"] += self._foreign.insertions
+        totals["evictions"] += self._foreign.evictions
+        if reset:
+            self._foreign.reset()
+        return entries, totals
+
     def snapshot(self, reset: bool = False) -> dict:
         """Serializable view of the table: entries + aggregated counters.
 
-        With the journal enabled, ``entries`` contains only the insertions
-        since the previous ``reset=True`` snapshot; otherwise the full table
-        content is shipped.  ``reset=True`` also zeroes the counters so the
-        snapshot acts as a delta (process-backend workers call it once per
-        drain barrier).
+        With the journal enabled, ``entries`` contains only the commits
+        (insertions *and* merged-in peer entries) since the previous
+        ``reset=True`` snapshot; otherwise the full table content is
+        shipped.  ``reset=True`` also zeroes the counters so the snapshot
+        acts as a delta (process-backend workers call it once per drain
+        barrier, the serving merge pump and the persistent store
+        continuously).
+
+        Entries and counters are captured under one consistent pass: the
+        journal lock blocks journaled commits for the duration, and each
+        bucket's counters are read and reset inside a single critical
+        section, so ``reset=True`` never zeroes counts for commits the
+        snapshot did not ship.
         """
-        entries: list[THTEntry] = []
         if self._journal is not None:
             with self._journal_lock:
                 entries = list(self._journal)
                 if reset:
                     self._journal.clear()
+                _, counters = self._sweep_counters(reset, collect_entries=False)
         else:
-            for index in range(self.n_buckets):
-                with self._locks[index]:
-                    entries.extend(self._buckets[index])
-        counters = {
-            "hits": self.hits,
-            "misses": self.misses,
-            "insertions": self.insertions,
-            "evictions": self.evictions,
-        }
-        if reset:
-            for index in range(self.n_buckets):
-                with self._locks[index]:
-                    self._counters[index].reset()
-            self._foreign.reset()
+            entries, counters = self._sweep_counters(reset, collect_entries=True)
         return {"entries": entries, "counters": counters}
 
-    def merge(self, delta: dict) -> None:
+    def merge(self, delta: dict, journal: bool = True) -> None:
         """Fold a peer table's :meth:`snapshot` into this one.
 
         Entries are inserted with the usual refresh/FIFO-evict semantics but
         without touching the probe counters (no lookup happened *here*); the
         peer's counters are accumulated separately so aggregate hit/miss
         totals reflect the union of all processes.
+
+        With the journal enabled, merged entries are journaled exactly like
+        local insertions so downstream consumers (the serving merge pump,
+        the persistent store) see them in the next ``snapshot(reset=True)``
+        delta.  Pass ``journal=False`` for deltas that came *from* the
+        downstream consumer — a warm-start restore must not re-publish the
+        entries it just loaded.
         """
-        for entry in delta.get("entries", []):
-            index = bucket_of_value(entry.key_value, self.config.tht_bucket_bits)
-            with self._locks[index]:
-                bucket = self._buckets[index]
-                for position, existing in enumerate(bucket):
-                    if (
-                        existing.key_value == entry.key_value
-                        and existing.task_type_name == entry.task_type_name
-                        and existing.p_canonical == entry.p_canonical
-                    ):
-                        bucket[position] = entry
-                        break
-                else:
-                    if len(bucket) >= self.capacity:
-                        bucket.popleft()
-                        self._foreign.evictions += 1
-                    bucket.append(entry)
-        counters = delta.get("counters", {})
+        entries = delta.get("entries", [])
+        if self._journal is not None:
+            with self._journal_lock:
+                for entry in entries:
+                    self._store(entry, local=False)
+                if journal and self._journal is not None:
+                    self._journal.extend(entries)
+                self._fold_foreign(delta.get("counters", {}))
+        else:
+            for entry in entries:
+                self._store(entry, local=False)
+            self._fold_foreign(delta.get("counters", {}))
+
+    def _fold_foreign(self, counters: dict) -> None:
         self._foreign.hits += int(counters.get("hits", 0))
         self._foreign.misses += int(counters.get("misses", 0))
         self._foreign.insertions += int(counters.get("insertions", 0))

@@ -100,6 +100,18 @@ class ATMConfig:
         LRU bound on the number of stored shuffle records (one per
         ``(task type, total input bytes)``), fixing the unbounded growth the
         seed implementation exhibited for apps with many distinct sizes.
+    tht_store:
+        Persistent THT tier (DESIGN.md §9), ``None`` (default) for the
+        classic session-lifetime table.  ``"file://<path>"`` warm-starts the
+        THT from a snapshot file on Session open and flushes the run's delta
+        back on ``finish()``; ``"tcp://<host>:<port>"`` attaches to a
+        running ``scripts/tht_shard.py`` cache-shard daemon so concurrent
+        sessions and gateways share one warm tier.  A corrupt or unreachable
+        store degrades to a cold start — it never fails the run.
+    tht_store_compact_frames:
+        Append-then-compact bound of the ``file://`` store: when a flush
+        leaves more than this many delta frames in the file, it is rewritten
+        (atomically) as one consolidated snapshot.
     """
 
     mode: str = "none"
@@ -119,6 +131,8 @@ class ATMConfig:
     key_cache: bool = True
     key_cache_budget_bytes: int = 32 << 20
     shuffle_cache_entries: int = 256
+    tht_store: Optional[str] = None
+    tht_store_compact_frames: int = 8
 
     def __post_init__(self) -> None:
         self.validate()
@@ -157,6 +171,31 @@ class ATMConfig:
             raise ConfigurationError("key_cache_budget_bytes must be >= 0")
         if self.shuffle_cache_entries < 1:
             raise ConfigurationError("shuffle_cache_entries must be >= 1")
+        if self.tht_store is not None:
+            store = self.tht_store.strip()
+            if store.startswith("file://"):
+                if not store[len("file://"):]:
+                    raise ConfigurationError(
+                        "tht_store file:// URL names no path"
+                    )
+            elif store.startswith("tcp://"):
+                address = store[len("tcp://"):]
+                host, _, port = address.rpartition(":")
+                if not host or not port.isdigit() or not (0 < int(port) <= 65535):
+                    raise ConfigurationError(
+                        f"tht_store tcp:// URL must be tcp://host:port, "
+                        f"got {self.tht_store!r}"
+                    )
+            else:
+                raise ConfigurationError(
+                    f"tht_store must be a file:// or tcp:// URL, "
+                    f"got {self.tht_store!r}"
+                )
+        if self.tht_store_compact_frames < 1:
+            raise ConfigurationError(
+                f"tht_store_compact_frames must be >= 1, "
+                f"got {self.tht_store_compact_frames}"
+            )
 
     @property
     def n_buckets(self) -> int:

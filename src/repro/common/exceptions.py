@@ -154,6 +154,31 @@ class GatewayShutdownError(GatewayError):
     """The gateway is draining for shutdown and no longer accepts work."""
 
 
+# -- persistent THT store taxonomy (DESIGN.md §9 "Persistent memoization") -------
+#
+# The persistent tier fails *loudly but recoverably*: a store that cannot be
+# read raises ``THTStoreCorruptError`` (never garbage entries), and the
+# Session treats that as a cold start instead of dying — a damaged cache
+# file must never take down the computation it was meant to accelerate.
+
+
+class THTStoreError(ReproError):
+    """Base class for persistent-THT-store failures (file or shard)."""
+
+
+class THTStoreCorruptError(THTStoreError):
+    """A store file or shard reply failed to decode.
+
+    Raised on a bad header, a schema mismatch, a truncated or
+    checksum-failing frame, or a frame that is not a store message.  The
+    Session catches this on warm-start and falls back to a cold table.
+    """
+
+
+class THTStoreUnavailableError(THTStoreError):
+    """A ``tcp://`` cache shard could not be reached or dropped mid-request."""
+
+
 class WorkloadError(ReproError):
     """An application workload was configured with invalid parameters."""
 

@@ -1,7 +1,10 @@
 """BENCH report assembly, serialisation and threshold checks.
 
 ``BENCH_<n>.json`` (repo root, one per PR generation) is the machine-readable
-perf trajectory.  Schema (``schema_version`` 7 — adds the ``serving``
+perf trajectory.  Schema (``schema_version`` 8 — adds the ``tht_warm``
+suite: cold-vs-warm persistent-THT-store runs over both the ``file://``
+snapshot backend and a live ``tcp://`` cache shard, with a gated warm-run
+hit rate and bit-identical-checksum gate; version 7 added the ``serving``
 suite: multi-tenant gateway throughput, latency percentiles, and the gated
 admission-fairness ratio; version 6 added the ``net_residency`` suite: the
 iterative stale-bytes dispatch benchmark for the network backend; version 5
@@ -11,7 +14,7 @@ added ``micro.fault_recovery``; version 4 added the ``network_s`` /
 .. code-block:: text
 
     {
-      "schema_version": 7,
+      "schema_version": 8,
       "bench_id": <int>,              # PR generation number
       "created_unix": <float>,
       "host": {"python": ..., "numpy": ..., "platform": ..., "cpu_count": ...},
@@ -46,6 +49,14 @@ added ``micro.fault_recovery``; version 4 added the ``network_s`` /
                         "latency_p50_s": ..., "latency_p99_s": ..., ...},
         "fairness": {"backlog_ratio": ..., "fairness_ratio": ..., ...},
         "overhead": {"gateway_overhead_ratio": ..., ...}
+      },
+      "tht_warm": {          # persistent THT store: cold vs warm starts
+        "benchmarks": [...], "scale": ..., "tcp": ...,
+        "rows": [ {benchmark, store, phase, tht_hits, tht_misses,
+                    tht_hit_rate_percent, reuse_percent,
+                    output_checksum, checksum_matches_serial, ...}, ... ],
+        "warm_hit_rate_percent": ..., "cold_hit_rate_percent": ...,
+        "warm_reuse_percent": ..., "checksums_identical": ...
       },
       "checks": {"keygen_speedup_multi_input": <float>,
                   "shuffle_memory_reduction": <float>,
@@ -94,15 +105,17 @@ __all__ = [
     "SCHEMA_VERSION",
 ]
 
-#: Schema 7 adds the ``serving`` suite (multi-tenant gateway throughput,
-#: per-tenant latency percentiles, and the gated admission-fairness ratio).
-#: Schema 6 added the ``net_residency`` suite (iterative stale-bytes
-#: dispatch on the network backend) and its gated off/on dispatch-overhead
-#: improvement.  Schema 5 added ``micro.fault_recovery`` and the baseline
-#: comparison gates (:func:`compare_to_baseline`: e2e checksums
-#: bit-identical, submission throughput within tolerance of the previous
-#: BENCH report).
-SCHEMA_VERSION = 7
+#: Schema 8 adds the ``tht_warm`` suite (persistent THT store cold-vs-warm
+#: runs over the ``file://`` and ``tcp://`` backends) with a gated warm-run
+#: THT hit rate and a bit-identical-output gate.  Schema 7 added the
+#: ``serving`` suite (multi-tenant gateway throughput, per-tenant latency
+#: percentiles, and the gated admission-fairness ratio).  Schema 6 added
+#: the ``net_residency`` suite (iterative stale-bytes dispatch on the
+#: network backend) and its gated off/on dispatch-overhead improvement.
+#: Schema 5 added ``micro.fault_recovery`` and the baseline comparison
+#: gates (:func:`compare_to_baseline`: e2e checksums bit-identical,
+#: submission throughput within tolerance of the previous BENCH report).
+SCHEMA_VERSION = 8
 
 
 def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
@@ -128,6 +141,18 @@ THRESHOLDS = {
     # round-robin measures ~0.7-0.8 on this container — the ratio is a
     # policy property, not a wall-clock one, so it is stable enough to gate.
     "serving_fairness_ratio": 0.5,
+    # Persistent THT store: a warm-started run replaying a workload it has
+    # already seen must serve most of its table lookups from the restored
+    # snapshot (measured on the WORST backend x benchmark combination; a
+    # healthy warm start measures 100 %, the 50 % floor tolerates capacity
+    # evictions at small geometries).  Gated on the hit rate over actual
+    # lookups, not all-tasks reuse: stencils spend most tasks on
+    # non-memoizable halo copies that never probe the table.
+    "tht_warm_hit_rate_percent": 50.0,
+    # Restored entries must serve bit-identical bytes: every cold and warm
+    # run over every backend must checksum-match a store-less serial run
+    # (1.0 = all matched, 0.0 = any mismatch).
+    "tht_warm_checksums_identical": 1.0,
 }
 
 
@@ -145,6 +170,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
     from repro.perf.net_residency import bench_net_residency
     from repro.perf.process_backend import bench_process_backend
     from repro.perf.serving import bench_serving
+    from repro.perf.tht_warm import bench_tht_warm
 
     # Quick mode trims rounds, never input scale: small inputs make the cold
     # keygen cases Python-overhead-bound and the speedup gate unrepresentative.
@@ -173,6 +199,9 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
     # volume to dominate wall noise, and the suite only costs ~2 s.
     net_residency = bench_net_residency(rounds=1 if quick else 2)
     serving = bench_serving(quick=quick)
+    # Quick mode trims to one benchmark but keeps both store backends: the
+    # tcp:// path is the one with real moving parts (sockets, shard state).
+    tht_warm = bench_tht_warm(quick=quick)
     # Gate the *slowest* submission path: the per-task dependences micro and
     # every submission-suite shape (per-task and batched, including the
     # Session facade), so a regression confined to the batch protocol or the
@@ -193,6 +222,10 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "serving_tasks_per_sec": serving["throughput"][
             "gateway_tasks_per_sec"
         ],
+        "tht_warm_hit_rate_percent": tht_warm["warm_hit_rate_percent"],
+        "tht_warm_checksums_identical": (
+            1.0 if tht_warm["checksums_identical"] else 0.0
+        ),
         "thresholds": dict(THRESHOLDS),
     }
     checks["passed"] = all(
@@ -213,6 +246,7 @@ def build_report(bench_id: int = 1, quick: bool = False) -> dict:
         "process_backend": process_backend,
         "net_residency": net_residency,
         "serving": serving,
+        "tht_warm": tht_warm,
         "checks": checks,
     }
 

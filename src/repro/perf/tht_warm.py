@@ -1,0 +1,155 @@
+"""Cold-vs-warm THT store benchmark (DESIGN.md §9).
+
+Runs the same benchmark application twice against one persistent THT store —
+first cold (the store is empty; every memoizable task executes and its
+commit is flushed on ``finish()``), then warm (a fresh Session restores the
+previous run's table and serves its repeated tasks from memory) — for both
+store backends: the ``file://`` snapshot file and a live ``tcp://`` cache
+shard served in-process by ``scripts/tht_shard.py``.
+
+Two gated properties come out of it:
+
+* ``warm_hit_rate_percent`` — the warm run's THT hit rate, i.e. hits over
+  table lookups.  The repeated workload is 100 % redundant among its
+  memoizable tasks, so a healthy warm start serves (nearly) every lookup
+  from the restored table; the gate only demands > 50 % to stay robust
+  against capacity evictions at small geometries.  (The all-tasks
+  ``reuse_percent`` is reported per row but not gated: stencil apps spend
+  most of their tasks on non-memoizable halo copies that never probe the
+  table, which would cap reuse far below the store's actual efficacy.)
+* ``checksums_identical`` — every run (cold and warm, both backends)
+  produces bit-identical program output to a store-less serial run: restored
+  entries must serve the *same bytes* the original execution produced.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps.registry import make_benchmark
+from repro.common.hashing import hash_bytes
+from repro.perf.report import safe_ratio
+from repro.session import Session
+
+__all__ = ["bench_tht_warm"]
+
+#: Benchmarks replayed through the store (full mode runs both; quick mode
+#: only the first).  Both are deterministic and 100 % redundant when
+#: repeated, so the warm run's reuse percentage is a property of the store,
+#: not of the workload.
+DEFAULT_BENCHMARKS = ("blackscholes", "jacobi")
+
+
+def _load_shard_module():
+    """Import ``scripts/tht_shard.py`` (a script, not a package) by path."""
+    name = "tht_shard_for_bench"
+    if name in sys.modules:
+        return sys.modules[name]
+    path = Path(__file__).resolve().parents[3] / "scripts" / "tht_shard.py"
+    if not path.exists():
+        return None
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _run_once(benchmark: str, scale: str, url: "str | None") -> dict:
+    """One serial run of ``benchmark``; returns measurements for one row."""
+    app = make_benchmark(benchmark, scale=scale)
+    atm: dict = {"mode": "static"}
+    if url is not None:
+        atm["tht_store"] = url
+    t0 = time.perf_counter()
+    with Session({"atm": atm}, executor="serial") as session:
+        app.run(session)
+        result = session.result
+        warm_started = session.warm_started
+        stats = session.stats
+    wall = time.perf_counter() - t0
+    output = np.ascontiguousarray(np.asarray(app.output(), dtype=np.float64))
+    hits = stats.get("tht_hits", 0)
+    misses = stats.get("misses", 0)
+    return {
+        "wall_s": round(wall, 4),
+        "tasks_completed": result.tasks_completed,
+        "tasks_memoized": result.tasks_memoized,
+        "reuse_percent": round(
+            100.0 * safe_ratio(result.tasks_memoized, result.tasks_completed), 3
+        ),
+        "tht_hits": hits,
+        "tht_misses": misses,
+        # Hit rate over the tasks that actually probed the table: halo
+        # copies and other non-memoizable types never look it up, so the
+        # all-tasks reuse_percent undersells warm starts on stencils.
+        "tht_hit_rate_percent": round(
+            100.0 * safe_ratio(hits, hits + misses), 3
+        ),
+        "warm_started": warm_started,
+        "output_checksum": f"{hash_bytes(output):016x}",
+    }
+
+
+def bench_tht_warm(
+    benchmarks: "tuple[str, ...]" = DEFAULT_BENCHMARKS,
+    scale: str = "tiny",
+    quick: bool = False,
+) -> dict:
+    """Cold/warm rows per (benchmark, store backend) + the gated aggregates."""
+    if quick:
+        benchmarks = benchmarks[:1]
+    rows: list[dict] = []
+    checksums_ok = True
+    shard_module = _load_shard_module()
+    for benchmark in benchmarks:
+        reference = _run_once(benchmark, scale, url=None)
+        with tempfile.TemporaryDirectory(prefix="tht-warm-") as tmp:
+            backends = [("file", f"file://{tmp}/warm.tht", None)]
+            if shard_module is not None:
+                server, addr = shard_module.serve_in_thread()
+                backends.append(("tcp", f"tcp://{addr}", server))
+            try:
+                for store, url, _server in backends:
+                    for phase in ("cold", "warm"):
+                        row = _run_once(benchmark, scale, url)
+                        row.update(
+                            benchmark=benchmark, scale=scale,
+                            store=store, phase=phase,
+                        )
+                        row["checksum_matches_serial"] = (
+                            row["output_checksum"] == reference["output_checksum"]
+                        )
+                        checksums_ok &= row["checksum_matches_serial"]
+                        rows.append(row)
+            finally:
+                for _store, _url, server in backends:
+                    if server is not None:
+                        server.shutdown_gracefully()
+    warm_rows = [row for row in rows if row["phase"] == "warm"]
+    cold_rows = [row for row in rows if row["phase"] == "cold"]
+    return {
+        "benchmarks": list(benchmarks),
+        "scale": scale,
+        "tcp": shard_module is not None,
+        "rows": rows,
+        # Gate on the WORST warm run: every backend and benchmark must reuse.
+        "warm_hit_rate_percent": round(
+            min((row["tht_hit_rate_percent"] for row in warm_rows), default=0.0),
+            3,
+        ),
+        "cold_hit_rate_percent": round(
+            max((row["tht_hit_rate_percent"] for row in cold_rows), default=0.0),
+            3,
+        ),
+        "warm_reuse_percent": round(
+            min((row["reuse_percent"] for row in warm_rows), default=0.0), 3
+        ),
+        "checksums_identical": bool(checksums_ok),
+    }

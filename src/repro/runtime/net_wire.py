@@ -82,6 +82,7 @@ __all__ = [
     "span_bytes",
     "encode_frame",
     "decode_frame",
+    "iter_frames",
     "read_frame",
     "write_frame",
 ]
@@ -153,6 +154,23 @@ def decode_frame(data: bytes) -> tuple[Any, int]:
             f"{len(data) - _HEADER.size} present"
         )
     return _check_payload(data[_HEADER.size : end], crc), end
+
+
+def iter_frames(data: bytes):
+    """Yield every message of a back-to-back frame sequence.
+
+    The persistent THT store's file format is exactly this: concatenated
+    frames (header + delta appends).  Raises :class:`WireProtocolError` on
+    the first bad or truncated frame — including a partial trailing frame
+    left by an interrupted append — so callers decide between failing and
+    salvaging the frames already yielded.
+    """
+    offset = 0
+    view = memoryview(data)
+    while offset < len(data):
+        message, consumed = decode_frame(view[offset:])
+        yield message
+        offset += consumed
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:

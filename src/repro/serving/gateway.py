@@ -20,7 +20,11 @@ registered backend).  Three properties make the sharing safe:
   shared tier (period ``merge_interval_s``, or earlier after
   ``merge_min_commits`` journal entries); a tenant-private THT miss then
   probes the shared tier, so tenants that opted in reuse each other's work
-  without ever writing into each other's namespaces.
+  without ever writing into each other's namespaces.  With ``atm.tht_store``
+  the shared tier additionally warm-starts from a persistent store
+  (``file://`` snapshot or ``tcp://`` cache shard, DESIGN.md §9) and the
+  merge pump publishes its incremental deltas back, so the warm tier
+  survives gateway restarts.
 
 Threading model: one asyncio event loop (connection handling), one dispatch
 thread (admission pump + ``executor.drain``), one merge-pump thread (shared
@@ -41,6 +45,7 @@ import asyncio
 import dataclasses
 import threading
 import time
+import warnings
 from collections import deque
 from typing import Any, Mapping, Optional
 
@@ -54,6 +59,9 @@ from repro.common.exceptions import (
     GatewayShutdownError,
     ReproError,
     TenantRejectedError,
+    THTStoreCorruptError,
+    THTStoreError,
+    THTStoreUnavailableError,
 )
 from repro.runtime.atm_protocol import (
     ATMAction,
@@ -378,6 +386,13 @@ class Gateway:
             from repro.atm.tht import TaskHistoryTable
 
             self._shared_tht = TaskHistoryTable(cfg.atm)
+        # Persistent memoization tier (DESIGN.md §9): the shared tier
+        # warm-starts from ``atm.tht_store`` and the merge pump publishes its
+        # incremental deltas back, so the warm tier survives gateway restarts
+        # and is visible to other gateways/sessions on the same store.
+        self._tht_store = None
+        if self._shared_tht is not None and cfg.atm.tht_store:
+            self._tht_store = self._open_tht_store(cfg.atm.tht_store)
         self._router = TenantEngineRouter(shared_tht=self._shared_tht)
         self._admission = AdmissionController(
             max_pending=self.serving.max_pending,
@@ -402,6 +417,73 @@ class Gateway:
         self._loop_thread: Optional[threading.Thread] = None
         self._dispatch_thread: Optional[threading.Thread] = None
         self._merge_thread: Optional[threading.Thread] = None
+
+    # -- persistent shared tier (DESIGN.md §9) -----------------------------------
+    def _open_tht_store(self, url: str):
+        """Warm-start the shared tier from ``atm.tht_store``.
+
+        Mirrors the Session's failure semantics: a corrupt or unreachable
+        store degrades to a cold shared tier with a ``RuntimeWarning``.  The
+        shared tier's journal is enabled only when a store is attached (and
+        after the restore merge), so the merge pump publishes exactly the
+        increment each tick and never re-publishes restored entries.
+        """
+        from repro.atm.store import open_store
+
+        try:
+            store = open_store(url, self.config.atm)
+        except THTStoreUnavailableError as exc:
+            warnings.warn(
+                f"THT store {url} unavailable, shared tier cold-starts: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            delta = store.load()
+        except THTStoreCorruptError as exc:
+            warnings.warn(
+                f"THT store {url} unreadable, shared tier cold-starts: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            delta = None
+        except THTStoreUnavailableError as exc:
+            store.close()
+            warnings.warn(
+                f"THT store {url} dropped during warm-start, shared tier "
+                f"cold-starts: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if delta and delta.get("entries"):
+            self._shared_tht.merge(delta, journal=False)
+        self._shared_tht.enable_journal()
+        return store
+
+    def _publish_shared_delta(self) -> None:
+        """Ship the shared tier's journal increment to the store.
+
+        A store that fails mid-service is detached after one warning — the
+        gateway keeps serving from its in-memory tier.
+        """
+        store = self._tht_store
+        if store is None or self._shared_tht is None:
+            return
+        if not getattr(self._shared_tht, "_journal", None):
+            return
+        try:
+            store.publish(self._shared_tht.snapshot(reset=True))
+        except THTStoreError as exc:
+            self._tht_store = None
+            store.close()
+            warnings.warn(
+                f"THT store {store.url} publish failed; detaching the store "
+                f"(shared tier stays in-memory): {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- pool assembly -----------------------------------------------------------
     def _build_pool(self) -> None:
@@ -500,6 +582,10 @@ class Gateway:
             self._work_cond.notify_all()
         if self._shared_tht is not None:
             self._flush_all_deltas()
+            self._publish_shared_delta()
+        store, self._tht_store = self._tht_store, None
+        if store is not None:
+            store.close()
         if self._loop is not None and self._loop.is_running():
             self._loop.call_soon_threadsafe(self._loop.stop)
         for thread in (self._loop_thread, self._dispatch_thread, self._merge_thread):
@@ -670,6 +756,9 @@ class Gateway:
                     continue
                 if len(journal) >= min_commits or now - tenant.last_flush >= interval:
                     self._flush_tenant_delta(tenant)
+            # Tenant deltas merged above land in the shared tier's journal
+            # (when a store is attached); ship that increment downstream.
+            self._publish_shared_delta()
 
     # -- tenant management -------------------------------------------------------
     def _register_tenant(self, info: Mapping) -> _TenantState:

@@ -34,6 +34,7 @@ import functools
 import inspect
 import pickle
 import sys
+import warnings
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Mapping, Optional, Sequence
@@ -43,6 +44,9 @@ from repro.common.exceptions import (
     ConfigurationError,
     RuntimeStateError,
     TaskDefinitionError,
+    THTStoreCorruptError,
+    THTStoreError,
+    THTStoreUnavailableError,
 )
 from repro.runtime.data import DataAccess, In, InOut, Out
 from repro.runtime.executor import BaseExecutor, RunResult, build_executor
@@ -237,6 +241,12 @@ class Session:
     calls :meth:`finish` (or, on an in-flight exception, :meth:`close`) so
     executor resources — worker pools, shared-memory segments — are released
     on every path.
+
+    When ``atm.tht_store`` names a ``file://`` snapshot or ``tcp://`` cache
+    shard, the session warm-starts its THT from the store on open (falling
+    back to a cold table, with a ``RuntimeWarning``, if the store is corrupt
+    or unreachable — ``Session.warm_started`` reports which happened) and
+    publishes the run's new commits back on :meth:`finish`.
     """
 
     def __init__(
@@ -329,11 +339,90 @@ class Session:
             on_ready=self.executor.notify_ready,
             on_ready_batch=self.executor.notify_ready_batch,
         )
+        # Persistent memoization tier (DESIGN.md §9): warm-start the THT from
+        # the configured store and flush this run's commits on finish().
+        self._tht_store = None
+        self.warm_started = False
+        if cfg.atm.tht_store:
+            self._tht_store = self._open_tht_store(cfg.atm.tht_store)
         self._closed = False
         self._drained = False
         self._drain_aborted = ""  # exception class name once a drain fails
         self._submitted = 0
         self._batch_buffer: Optional[list[Task]] = None
+
+    # -- persistent THT store (DESIGN.md §9) --------------------------------------
+    def _open_tht_store(self, url: str):
+        """Open ``atm.tht_store`` and warm-start the engine's THT from it.
+
+        Failure semantics: a corrupt file or unreachable shard degrades to a
+        cold start with a ``RuntimeWarning`` — a damaged cache must never
+        take down the computation it was meant to accelerate.  The journal is
+        enabled *after* the restore merge, so warm-started entries are never
+        re-published by this session's flush.
+        """
+        if self.engine is None:
+            # Raised before any submission, but the executor (and a possible
+            # worker pool) already exists — release it on the error path.
+            self.executor.close()
+            raise ConfigurationError(
+                "atm.tht_store requires a memoization engine (set atm.mode "
+                "or pass policy=)"
+            )
+        from repro.atm.store import open_store
+
+        try:
+            store = open_store(url, self.config.atm)
+        except THTStoreUnavailableError as exc:
+            warnings.warn(
+                f"THT store {url} unavailable, cold-starting: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        try:
+            delta = store.load()
+        except THTStoreCorruptError as exc:
+            # Keep the store attached: the finish() flush rewrites the
+            # damaged file with a fresh snapshot (FileTHTStore self-heals).
+            warnings.warn(
+                f"THT store {url} unreadable, cold-starting: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            delta = None
+        except THTStoreUnavailableError as exc:
+            store.close()
+            warnings.warn(
+                f"THT store {url} dropped during warm-start, cold-starting: "
+                f"{exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if delta and delta.get("entries"):
+            self.engine.tht.merge(delta, journal=False)
+            self.warm_started = True
+        self.engine.enable_delta_snapshots()
+        return store
+
+    def _flush_tht_store(self) -> None:
+        """Publish this run's THT commits to the store and release it."""
+        store, self._tht_store = self._tht_store, None
+        if store is None:
+            return
+        try:
+            if self.engine is not None:
+                store.publish(self.engine.tht.snapshot(reset=True))
+        except THTStoreError as exc:
+            warnings.warn(
+                f"THT store {store.url} flush failed; this run's entries "
+                f"were not persisted: {exc}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        finally:
+            store.close()
 
     def _reject_dangling_p(self, p: Optional[float]) -> None:
         if p is not None and self.engine is None:
@@ -594,11 +683,23 @@ class Session:
             return self.wait_all()
         finally:
             self._closed = True
-            self.executor.close()
+            try:
+                # Entries committed before a failed drain are still valid
+                # memoizations — publish what completed on every path.
+                self._flush_tht_store()
+            finally:
+                self.executor.close()
 
     def close(self) -> None:
-        """Release executor resources without draining (error-path teardown)."""
+        """Release executor resources without draining (error-path teardown).
+
+        The THT store is released *without* publishing: an error-path
+        teardown must not flush a half-drained delta over a good snapshot.
+        """
         self._closed = True
+        store, self._tht_store = self._tht_store, None
+        if store is not None:
+            store.close()
         self.executor.close()
 
     def __enter__(self) -> "Session":

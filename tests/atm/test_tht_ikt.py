@@ -205,6 +205,90 @@ class TestCanonicalPMatching:
         assert canonical_p(1e-12) >= 1  # tiny fractions clamp, never zero
 
 
+class TestJournalDeltas:
+    """Regression: journaled snapshot(reset=True) must ship every commit."""
+
+    def config(self, bits=2, capacity=8) -> ATMConfig:
+        return ATMConfig(tht_bucket_bits=bits, tht_bucket_capacity=capacity)
+
+    def test_merge_feeds_enabled_journal(self):
+        # The seed bug: merge() inserted directly into buckets and never
+        # journaled, so a journaled shared tier silently dropped every
+        # merged peer entry from its next delta.
+        peer = TaskHistoryTable(self.config())
+        peer.insert(make_key(1), "t", make_outputs(1), producer_index=1)
+        peer.insert(make_key(2), "t", make_outputs(2), producer_index=2)
+        shared = TaskHistoryTable(self.config())
+        shared.enable_journal()
+        shared.merge(peer.snapshot())
+        delta = shared.snapshot(reset=True)
+        assert sorted(e.key_value for e in delta["entries"]) == [1, 2]
+        # Consumed: the next delta is empty until new commits land.
+        assert shared.snapshot(reset=True)["entries"] == []
+
+    def test_merge_journal_false_skips_journal(self):
+        # Warm-start restore path: loaded entries must not be re-published.
+        peer = TaskHistoryTable(self.config())
+        peer.insert(make_key(1), "t", make_outputs(1), producer_index=1)
+        tht = TaskHistoryTable(self.config())
+        tht.enable_journal()
+        tht.merge(peer.snapshot(), journal=False)
+        assert tht.snapshot(reset=True)["entries"] == []
+        assert tht.lookup(make_key(1), "t") is not None
+
+    def test_merged_entries_flow_through_chained_tiers(self):
+        worker = TaskHistoryTable(self.config())
+        worker.insert(make_key(7), "t", make_outputs(7), producer_index=7)
+        middle = TaskHistoryTable(self.config())
+        middle.enable_journal()
+        middle.merge(worker.snapshot())
+        downstream = TaskHistoryTable(self.config())
+        downstream.merge(middle.snapshot(reset=True))
+        assert downstream.lookup(make_key(7), "t") is not None
+
+    def test_threaded_churn_no_counted_but_lost_insertions(self):
+        # Regression for the non-atomic snapshot: entries and counters were
+        # read in two passes, so inserts landing between them were counted
+        # by a reset=True snapshot that never shipped them.  Across all
+        # delta cycles, counted insertions must equal shipped entries.
+        import threading
+
+        config = ATMConfig(tht_bucket_bits=3, tht_bucket_capacity=512)
+        tht = TaskHistoryTable(config)
+        tht.enable_journal()
+        downstream = TaskHistoryTable(config)
+        per_thread, threads_n = 400, 4
+
+        def churn(base):
+            for i in range(per_thread):
+                tht.insert(
+                    make_key(base + i), "t", [np.full(2, float(i))],
+                    producer_index=base + i,
+                )
+
+        threads = [
+            threading.Thread(target=churn, args=(t * 10_000,))
+            for t in range(threads_n)
+        ]
+        for thread in threads:
+            thread.start()
+        shipped = 0
+        counted = 0
+        while any(t.is_alive() for t in threads):
+            delta = tht.snapshot(reset=True)
+            shipped += len(delta["entries"])
+            counted += delta["counters"]["insertions"]
+            downstream.merge(delta)
+        for thread in threads:
+            thread.join()
+        final = tht.snapshot(reset=True)
+        shipped += len(final["entries"])
+        counted += final["counters"]["insertions"]
+        downstream.merge(final)
+        assert shipped == counted == per_thread * threads_n
+        assert len(downstream) == per_thread * threads_n
+
+
 class TestPerBucketCounters:
     def test_counters_aggregate_across_buckets(self):
         config = ATMConfig(tht_bucket_bits=2, tht_bucket_capacity=4)

@@ -1,0 +1,388 @@
+"""Persistent THT store tests (DESIGN.md §9).
+
+Covers the ``file://`` snapshot format (round-trip bit-identity, append +
+compact, corruption -> named error + cold start), the ``tcp://`` cache-shard
+protocol (handshake, fetch/publish/stats, unavailability), and the Session
+warm-start semantics on the six benchmark applications.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import make_benchmark
+from repro.apps.registry import BENCHMARK_NAMES
+from repro.atm.store import (
+    SHARD_PROTOCOL_VERSION,
+    STORE_SCHEMA_VERSION,
+    FileTHTStore,
+    ShardState,
+    ShardTHTStore,
+    merge_deltas,
+    open_store,
+    parse_store_url,
+)
+from repro.atm.tht import TaskHistoryTable
+from repro.common.config import ATMConfig
+from repro.common.exceptions import (
+    ConfigurationError,
+    THTStoreCorruptError,
+    THTStoreError,
+    THTStoreUnavailableError,
+)
+from repro.common.hashing import HashKey, hash_bytes
+from repro.runtime.net_wire import encode_frame
+from repro.session import In, Out, Session
+
+CFG = ATMConfig(tht_bucket_bits=4, tht_bucket_capacity=8)
+
+
+def load_shard_module():
+    """Import ``scripts/tht_shard.py`` (not a package) by file path."""
+    name = "tht_shard_under_test"
+    if name in sys.modules:
+        return sys.modules[name]
+    path = Path(__file__).resolve().parents[2] / "scripts" / "tht_shard.py"
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def fill_table(n: int = 12, seed: int = 0) -> TaskHistoryTable:
+    tht = TaskHistoryTable(CFG)
+    tht.enable_journal()
+    for i in range(n):
+        tht.insert(
+            HashKey(value=seed * 100_000 + i * 17),
+            "store-test",
+            [np.arange(6, dtype=np.float64) + seed * 1000 + i],
+            producer_index=i,
+        )
+    return tht
+
+
+def entry_map(delta: dict) -> dict:
+    return {
+        (e.key_value, e.task_type_name, e.p_canonical): e
+        for e in delta["entries"]
+    }
+
+
+@pytest.fixture()
+def store_path(tmp_path) -> Path:
+    return tmp_path / "tht" / "store.tht"
+
+
+@pytest.fixture(scope="module")
+def shard():
+    """An in-process cache-shard daemon; yields its ``tcp://`` URL."""
+    server, addr = load_shard_module().serve_in_thread(
+        bucket_bits=CFG.tht_bucket_bits, bucket_capacity=CFG.tht_bucket_capacity
+    )
+    yield f"tcp://{addr}"
+    server.shutdown_gracefully()
+
+
+class TestUrlParsing:
+    def test_file_and_tcp_urls(self, tmp_path):
+        kind, path = parse_store_url(f"file://{tmp_path}/x.tht")
+        assert kind == "file" and path == tmp_path / "x.tht"
+        assert parse_store_url("tcp://host.example:9201") == (
+            "tcp", ("host.example", 9201)
+        )
+
+    @pytest.mark.parametrize("url", [
+        "ftp://x", "file://", "tcp://nohost", "tcp://h:notaport", "relative/path",
+    ])
+    def test_bad_urls_raise(self, url):
+        with pytest.raises(THTStoreError):
+            parse_store_url(url)
+
+    def test_config_validates_store_url(self):
+        with pytest.raises(ConfigurationError, match="tht_store"):
+            ATMConfig(tht_store="ftp://x").validate()
+        with pytest.raises(ConfigurationError, match="tht_store"):
+            ATMConfig(tht_store="tcp://h:70000").validate()
+        ATMConfig(tht_store="tcp://h:9201").validate()
+        ATMConfig(tht_store="file:///tmp/x.tht").validate()
+
+    def test_open_store_dispatches_by_scheme(self, store_path):
+        store = open_store(f"file://{store_path}", CFG)
+        assert isinstance(store, FileTHTStore)
+        assert store.url == f"file://{store_path}"
+
+
+class TestMergeDeltas:
+    def test_later_entries_win_and_counters_sum(self):
+        first = fill_table(4, seed=1).snapshot()
+        second = fill_table(4, seed=1).snapshot()  # same keys, new outputs
+        merged = merge_deltas([first, second])
+        assert len(merged["entries"]) == 4
+        for key, entry in entry_map(merged).items():
+            np.testing.assert_array_equal(
+                entry.outputs[0], entry_map(second)[key].outputs[0]
+            )
+        assert merged["counters"]["insertions"] == 8
+
+
+class TestFileStore:
+    def test_missing_file_loads_empty(self, store_path):
+        delta = FileTHTStore(store_path, CFG).load()
+        assert delta["entries"] == []
+        assert not store_path.exists()
+
+    def test_round_trip_is_bit_identical(self, store_path):
+        tht = fill_table(12)
+        shipped = tht.snapshot(reset=True)
+        store = FileTHTStore(store_path, CFG)
+        assert store.publish(shipped) == 12
+        loaded = FileTHTStore(store_path, CFG).load()
+        assert entry_map(loaded).keys() == entry_map(shipped).keys()
+        for key, entry in entry_map(shipped).items():
+            restored = entry_map(loaded)[key]
+            assert hash_bytes(restored.outputs[0].tobytes()) == hash_bytes(
+                entry.outputs[0].tobytes()
+            )
+            assert restored.stored_bytes == entry.stored_bytes
+            assert restored.producer_index == entry.producer_index
+
+    def test_empty_delta_publish_is_a_noop(self, store_path):
+        store = FileTHTStore(store_path, CFG)
+        assert store.publish({"entries": [], "counters": {}}) == 0
+        assert not store_path.exists()
+
+    def test_appends_compact_to_a_bounded_frame_count(self, store_path):
+        config = ATMConfig(
+            tht_bucket_bits=CFG.tht_bucket_bits,
+            tht_bucket_capacity=CFG.tht_bucket_capacity,
+            tht_store_compact_frames=3,
+        )
+        store = FileTHTStore(store_path, config)
+        for seed in range(10):
+            store.publish(fill_table(2, seed=seed).snapshot())
+        stats = store.stats()
+        assert stats["delta_frames"] <= config.tht_store_compact_frames + 1
+        assert stats["entries"] == 20
+        assert len(store.load()["entries"]) == 20
+        # compaction leaves no temp litter behind
+        assert list(store_path.parent.glob("*.tmp")) == []
+
+    @pytest.mark.parametrize("damage", ["truncate", "garbage", "flip"])
+    def test_damaged_file_raises_the_named_error(self, store_path, damage):
+        store = FileTHTStore(store_path, CFG)
+        store.publish(fill_table(6).snapshot())
+        raw = store_path.read_bytes()
+        if damage == "truncate":
+            store_path.write_bytes(raw[:-7])
+        elif damage == "garbage":
+            store_path.write_bytes(b"these are not frames")
+        else:
+            store_path.write_bytes(raw[: len(raw) // 2] + b"\xff" + raw[len(raw) // 2 + 1:])
+        with pytest.raises(THTStoreCorruptError):
+            store.load()
+
+    def test_schema_mismatch_raises_corrupt(self, store_path):
+        store_path.parent.mkdir(parents=True)
+        store_path.write_bytes(
+            encode_frame(("tht_store", {"schema": STORE_SCHEMA_VERSION + 1}))
+        )
+        with pytest.raises(THTStoreCorruptError, match="schema"):
+            FileTHTStore(store_path, CFG).load()
+
+    def test_header_kind_mismatch_raises_corrupt(self, store_path):
+        store_path.parent.mkdir(parents=True)
+        store_path.write_bytes(encode_frame(("something_else", {})))
+        with pytest.raises(THTStoreCorruptError, match="header"):
+            FileTHTStore(store_path, CFG).load()
+
+    def test_publish_self_heals_a_damaged_store(self, store_path):
+        store = FileTHTStore(store_path, CFG)
+        store.publish(fill_table(4).snapshot())
+        store_path.write_bytes(b"broken beyond repair")
+        store.publish(fill_table(5, seed=9).snapshot())
+        assert len(store.load()["entries"]) == 5
+
+
+class TestShardState:
+    def test_hello_checks_the_protocol_version(self):
+        state = ShardState(CFG)
+        kind, info = state.handle(("hello", {"protocol": SHARD_PROTOCOL_VERSION}))
+        assert kind == "hello_ack"
+        assert info["schema"] == STORE_SCHEMA_VERSION
+        reply = state.handle(("hello", {"protocol": 999}))
+        assert reply[0] == "error"
+
+    def test_publish_then_fetch_round_trips(self):
+        state = ShardState(CFG)
+        shipped = fill_table(8).snapshot()
+        kind, received = state.handle(("publish", shipped))
+        assert (kind, received) == ("publish_ack", 8)
+        kind, delta = state.handle(("fetch",))
+        assert kind == "fetch_result"
+        assert entry_map(delta).keys() == entry_map(shipped).keys()
+        kind, stats = state.handle(("stats",))
+        assert kind == "stats_reply"
+        assert stats["entries"] == 8
+        assert stats["publishes"] == 1 and stats["fetches"] == 1
+
+    def test_malformed_requests_get_error_replies(self):
+        state = ShardState(CFG)
+        assert state.handle("not-a-tuple")[0] == "error"
+        assert state.handle(("frobnicate",))[0] == "error"
+        assert state.handle(("publish", "not-a-delta"))[0] == "error"
+
+
+class TestShardService:
+    def test_publish_visible_to_other_clients(self, shard):
+        shipped = fill_table(10, seed=3).snapshot()
+        with open_store(shard, CFG) as writer:
+            assert writer.publish(shipped) == 10
+        with open_store(shard, CFG) as reader:
+            fetched = reader.load()
+            stats = reader.stats()
+        assert entry_map(shipped).keys() <= entry_map(fetched).keys()
+        assert stats["publishes"] >= 1
+        assert stats["backend"] == "shard"
+
+    def test_unreachable_shard_raises_unavailable(self):
+        with pytest.raises(THTStoreUnavailableError):
+            ShardTHTStore("127.0.0.1", 1, CFG, timeout_s=0.5)
+
+    def test_closed_connection_raises_unavailable(self, shard):
+        store = open_store(shard, CFG)
+        store.close()
+        with pytest.raises(THTStoreUnavailableError):
+            store.load()
+
+    def test_backed_shard_survives_restart(self, tmp_path):
+        backing = tmp_path / "shard-backing.tht"
+        module = load_shard_module()
+        server, addr = module.serve_in_thread(
+            bucket_bits=CFG.tht_bucket_bits,
+            bucket_capacity=CFG.tht_bucket_capacity,
+            backing=backing,
+        )
+        shipped = fill_table(7, seed=5).snapshot()
+        with ShardTHTStore(*addr.rsplit(":", 1)[:1], int(addr.rsplit(":", 1)[1]), CFG) as c:
+            c.publish(shipped)
+        server.shutdown_gracefully()  # flushes the backing file
+        assert backing.exists()
+        server2, addr2 = module.serve_in_thread(
+            bucket_bits=CFG.tht_bucket_bits,
+            bucket_capacity=CFG.tht_bucket_capacity,
+            backing=backing,
+        )
+        try:
+            with ShardTHTStore(*addr2.rsplit(":", 1)[:1], int(addr2.rsplit(":", 1)[1]), CFG) as c:
+                restored = c.load()
+            assert entry_map(shipped).keys() == entry_map(restored).keys()
+        finally:
+            server2.shutdown_gracefully()
+
+
+def run_saxpy(config, n=10):
+    """One tiny memoizable workload; returns (session, outputs)."""
+    with Session(config, executor="serial") as s:
+        @s.task(memoizable=True)
+        def saxpy(x: In, y: Out, a):
+            y[:] = a * x
+
+        xs = [np.full(32, float(i)) for i in range(n)]
+        ys = [np.zeros(32) for _ in range(n)]
+        for x, y in zip(xs, ys):
+            saxpy(x, y, 2.0)
+        s.wait_all()
+        return s, [y.copy() for y in ys]
+
+
+class TestSessionWarmStart:
+    def atm(self, url) -> dict:
+        return {"atm": {"mode": "static", "tht_store": url}}
+
+    def test_file_store_cold_then_warm(self, store_path):
+        url = f"file://{store_path}"
+        cold, cold_out = run_saxpy(self.atm(url))
+        assert not cold.warm_started
+        assert cold.stats["tht_hits"] == 0
+        warm, warm_out = run_saxpy(self.atm(url))
+        assert warm.warm_started
+        assert warm.stats["tht_hits"] == 10  # every task reused: >50% hit-rate
+        assert all(np.array_equal(a, b) for a, b in zip(cold_out, warm_out))
+
+    def test_shard_store_cold_then_warm(self, shard):
+        cold, cold_out = run_saxpy(self.atm(shard), n=8)
+        warm, warm_out = run_saxpy(self.atm(shard), n=8)
+        assert warm.warm_started
+        assert warm.stats["tht_hits"] == 8
+        assert all(np.array_equal(a, b) for a, b in zip(cold_out, warm_out))
+
+    def test_corrupt_store_warns_and_cold_starts(self, store_path):
+        url = f"file://{store_path}"
+        run_saxpy(self.atm(url))
+        store_path.write_bytes(b"definitely not a store")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            session, _ = run_saxpy(self.atm(url))
+        assert not session.warm_started
+        assert session.stats["tht_hits"] == 0
+        # the finish() flush replaced the damaged file: next run is warm
+        healed, _ = run_saxpy(self.atm(url))
+        assert healed.warm_started
+
+    def test_unreachable_shard_warns_and_cold_starts(self):
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            session, _ = run_saxpy(self.atm("tcp://127.0.0.1:1"))
+        assert not session.warm_started
+
+    def test_store_without_engine_is_a_config_error(self, store_path):
+        with pytest.raises(ConfigurationError, match="tht_store"):
+            Session(
+                {"atm": {"mode": "none", "tht_store": f"file://{store_path}"}},
+                executor="serial",
+            )
+
+    def test_error_path_close_does_not_publish(self, store_path):
+        url = f"file://{store_path}"
+        session, _ = run_saxpy(self.atm(url))
+        before = store_path.read_bytes()
+        with pytest.raises(ValueError):
+            with Session(self.atm(url), executor="serial") as s:
+                @s.task(memoizable=True)
+                def work(x: In, y: Out):
+                    y[:] = x
+
+                raise ValueError("in-flight failure")
+        assert store_path.read_bytes() == before
+
+    @pytest.mark.parametrize("bench_name", BENCHMARK_NAMES)
+    def test_warm_restore_serves_benchmark_bit_identical(self, tmp_path, bench_name):
+        """Cold-vs-warm on each benchmark app: same bytes, real reuse."""
+        url = f"file://{tmp_path / 'bench.tht'}"
+        reference = make_benchmark(bench_name, scale="tiny")
+        with Session({"atm": {"mode": "static"}}, executor="serial") as s:
+            reference.run(s)
+
+        cold = make_benchmark(bench_name, scale="tiny")
+        with Session(self.atm(url), executor="serial") as s:
+            cold.run(s)
+            cold_memoized = s.result.tasks_memoized
+
+        warm = make_benchmark(bench_name, scale="tiny")
+        with Session(self.atm(url), executor="serial") as s:
+            warm.run(s)
+            assert s.warm_started
+            assert s.stats["tht_hits"] > 0
+            # The restored table serves at least the hits the live table
+            # produced within one cold run.
+            assert s.result.tasks_memoized >= cold_memoized
+
+        expected = hash_bytes(np.ascontiguousarray(reference.output()).tobytes())
+        for app in (cold, warm):
+            got = hash_bytes(np.ascontiguousarray(app.output()).tobytes())
+            assert got == expected, f"{bench_name}: warm restore changed the output"

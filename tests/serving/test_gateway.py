@@ -293,6 +293,67 @@ class TestAtmNamespaces:
         assert second.extra["shared_hits"] == 0
 
 
+class TestPersistentSharedTier:
+    """The shared tier backed by ``atm.tht_store`` (DESIGN.md §9)."""
+
+    def run_app(self, gw, tenant):
+        app = make_benchmark("blackscholes", scale="tiny")
+        with GatewayClient("127.0.0.1", gw.port, tenant=tenant,
+                           atm_mode="static", shared_tht=True) as client:
+            app.build(client)
+            result = client.finish()
+        return result, app.output().copy()
+
+    def store_config(self, url):
+        return ReproConfig().with_overrides(
+            runtime={"executor": "serial"},
+            atm={"mode": "static", "tht_store": url},
+            serving={"shared_tht": True},
+        )
+
+    def test_shared_tier_survives_gateway_restart(self, tmp_path):
+        url = f"file://{tmp_path / 'shared.tht'}"
+        cfg = self.store_config(url)
+        with Gateway(cfg) as gw:
+            first, out_first = self.run_app(gw, "persist-a")
+        assert first.extra["shared_hits"] == 0
+        # A brand-new gateway on the same store starts with a warm shared
+        # tier: the very first tenant reuses the previous campaign's work.
+        with Gateway(cfg) as gw:
+            second, out_second = self.run_app(gw, "persist-b")
+        assert second.extra["shared_hits"] > 0
+        assert np.array_equal(out_first, out_second)
+
+    def test_gateway_publishes_to_shard_sessions_can_reuse(self, tmp_path):
+        from tests.atm.test_tht_store import load_shard_module
+
+        server, addr = load_shard_module().serve_in_thread()
+        url = f"tcp://{addr}"
+        try:
+            with Gateway(self.store_config(url)) as gw:
+                self.run_app(gw, "shard-pub")
+            # The merge pump shipped the shared tier to the shard; a plain
+            # Session pointed at the same shard now warm-starts from it.
+            app = make_benchmark("blackscholes", scale="tiny")
+            with Session(
+                {"atm": {"mode": "static", "tht_store": url}}, executor="serial"
+            ) as session:
+                app.run(session)
+                assert session.warm_started
+                assert session.stats["tht_hits"] > 0
+        finally:
+            server.shutdown_gracefully()
+
+    def test_unavailable_store_degrades_to_in_memory_tier(self):
+        cfg = self.store_config("tcp://127.0.0.1:1")
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            gw = Gateway(cfg)
+        with gw:
+            self.run_app(gw, "degraded-a")
+            second, _ = self.run_app(gw, "degraded-b")
+        assert second.extra["shared_hits"] > 0  # in-memory sharing still works
+
+
 class TestGatewayConfig:
     def test_rejects_simulated_pool(self):
         cfg = ReproConfig().with_overrides(runtime={"executor": "simulated"})
